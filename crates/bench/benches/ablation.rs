@@ -1,0 +1,93 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! - lazy vs naive greedy evaluation (same output, different cost);
+//! - Algorithm 2 root selection: all roots vs a sampled subset;
+//! - exact vs sampled l-hop connectivity.
+
+use brokerset::{
+    approx_mcbg, greedy_mcb, greedy_mcb_naive, lhop_curve, ApproxConfig, SourceMode,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netgraph::NodeSet;
+use topology::{InternetConfig, Scale};
+
+fn ablation(c: &mut Criterion) {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(2014);
+    let g = net.graph().clone();
+    let n = g.node_count();
+    let k = n / 15;
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(15);
+
+    group.bench_function("greedy_lazy", |b| b.iter(|| greedy_mcb(&g, k)));
+    group.bench_function("greedy_naive", |b| b.iter(|| greedy_mcb_naive(&g, k)));
+
+    group.bench_function("approx_all_roots", |b| {
+        b.iter(|| approx_mcbg(&g, k, &ApproxConfig::paper()))
+    });
+    group.bench_function("approx_sampled_roots_4", |b| {
+        let cfg = ApproxConfig {
+            root_sample: Some(4),
+            seed: 1,
+            ..ApproxConfig::paper()
+        };
+        b.iter(|| approx_mcbg(&g, k, &cfg))
+    });
+    group.bench_function("approx_strict_no_reinvest", |b| {
+        b.iter(|| approx_mcbg(&g, k, &ApproxConfig::strict()))
+    });
+
+    let sel = greedy_mcb(&g, k);
+    group.bench_function("lhop_exact", |b| {
+        b.iter(|| lhop_curve(&g, sel.brokers(), 6, SourceMode::Exact))
+    });
+    group.bench_function("lhop_sampled_200", |b| {
+        b.iter(|| {
+            lhop_curve(
+                &g,
+                sel.brokers(),
+                6,
+                SourceMode::Sampled { count: 200, seed: 3 },
+            )
+        })
+    });
+
+    // Free-path curve for reference (B = V touches every edge).
+    group.bench_function("lhop_free_path_sampled_200", |b| {
+        let full = NodeSet::full(n);
+        b.iter(|| {
+            lhop_curve(
+                &g,
+                &full,
+                6,
+                SourceMode::Sampled { count: 200, seed: 3 },
+            )
+        })
+    });
+
+    // Prefix connectivity: one incremental sweep vs per-prefix
+    // recomputation (the Fig 2b/Fig 3 inner loop).
+    let maxsg = brokerset::max_subgraph_greedy(&g, k);
+    group.bench_function("prefix_sweep_incremental", |b| {
+        b.iter(|| brokerset::connectivity_sweep(&g, &maxsg))
+    });
+    group.bench_function("local_search_after_greedy", |b| {
+        let sel = greedy_mcb(&g, k);
+        b.iter(|| brokerset::local_search_coverage(&g, &sel, 10))
+    });
+    group.bench_function("prefix_sweep_recompute", |b| {
+        b.iter(|| {
+            let mut last = 0.0;
+            for i in (10..=maxsg.len()).step_by(10) {
+                last = brokerset::saturated_connectivity(&g, maxsg.truncated(i).brokers())
+                    .fraction;
+            }
+            last
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

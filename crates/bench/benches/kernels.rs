@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the hot kernels: BFS, dominated components,
+//! coverage gain, and the l-hop connectivity evaluator.
+
+use brokerset::{greedy_mcb, lhop_curve, saturated_connectivity, CoverageState, SourceMode};
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netgraph::{Bfs, NodeId};
+use topology::{InternetConfig, Scale};
+
+fn kernels(c: &mut Criterion) {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(2014);
+    let g = net.graph().clone();
+    let n = g.node_count();
+    let sel = greedy_mcb(&g, n / 15);
+
+    c.bench_function("bfs_full_graph", |b| {
+        let mut bfs = Bfs::new(n);
+        b.iter(|| bfs.run(&g, NodeId(0)))
+    });
+
+    c.bench_function("dominated_components", |b| {
+        b.iter(|| saturated_connectivity(&g, sel.brokers()))
+    });
+
+    c.bench_function("coverage_gain_scan", |b| {
+        let mut cov = CoverageState::new(&g);
+        for &v in sel.order().iter().take(10) {
+            cov.add(&g, v);
+        }
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in g.nodes() {
+                acc += cov.gain(&g, v);
+            }
+            acc
+        })
+    });
+
+    c.bench_function("lhop_curve_sampled_100", |b| {
+        b.iter(|| {
+            lhop_curve(
+                &g,
+                sel.brokers(),
+                6,
+                SourceMode::Sampled { count: 100, seed: 7 },
+            )
+        })
+    });
+
+    c.bench_function("lhop_curve_parallel_4", |b| {
+        b.iter(|| {
+            brokerset::lhop_curve_parallel(
+                &g,
+                sel.brokers(),
+                6,
+                SourceMode::Sampled { count: 100, seed: 7 },
+                4,
+            )
+        })
+    });
+
+    c.bench_function("topology_generate_tiny", |b| {
+        let cfg = InternetConfig::scaled(Scale::Tiny);
+        b.iter_batched(
+            || cfg.clone(),
+            |cfg| cfg.generate(99),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Calibration scratchpad: generate the topology at a given scale and
+//! print the aggregate statistics and broker-coverage profile against the
+//! paper's targets. Used while tuning `InternetConfig` constants; kept as
+//! a diagnostic tool.
+//!
+//! Usage: `calibrate [tiny|quarter|full] [seed]`
+
+use brokerset::connectivity::saturated_connectivity;
+use brokerset::greedy::greedy_mcb;
+use brokerset::maxsg::max_subgraph_greedy;
+use netgraph::alphabeta::hop_histogram_sampled;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topology::{InternetConfig, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.get(1).map(String::as_str) {
+        Some("full") => Scale::Full,
+        Some("tiny") => Scale::Tiny,
+        _ => Scale::Quarter,
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2014);
+
+    let cfg = InternetConfig::scaled(scale);
+    let t0 = std::time::Instant::now();
+    let net = cfg.generate(seed);
+    eprintln!("generated in {:?}", t0.elapsed());
+    println!("{}", net.stats());
+
+    let g = net.graph();
+    let n = g.node_count();
+
+    // (alpha, beta): paper says (0.99, 4).
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xabcd);
+    let hist = hop_histogram_sampled(g, 400, &mut rng);
+    println!("\nhop CDF (sampled, {} sources):", hist.sources);
+    for (l, f) in hist.cdf().iter().enumerate().take(8).skip(1) {
+        println!("  P[d <= {l}] = {f:.4}");
+    }
+
+    // Coverage and saturated connectivity at the paper's broker budgets
+    // (0.19%, 1.9%, 6.8% of nodes).
+    let budgets = [
+        (n as f64 * 0.0019).round() as usize,
+        (n as f64 * 0.019).round() as usize,
+        (n as f64 * 0.068).round() as usize,
+    ];
+    let t0 = std::time::Instant::now();
+    let sel = greedy_mcb(g, budgets[2]);
+    eprintln!("greedy k={} in {:?}", budgets[2], t0.elapsed());
+    println!("\ngreedy MCB (paper targets: 53.1% / 85.4% / 99.3% saturated):");
+    for &k in &budgets {
+        let s = sel.truncated(k);
+        let cov = brokerset::coverage::coverage(g, s.brokers());
+        let sat = saturated_connectivity(g, s.brokers());
+        println!(
+            "  k={k:>6}  coverage={:.4}  saturated={:.4}",
+            cov as f64 / n as f64,
+            sat.fraction
+        );
+    }
+
+    let t0 = std::time::Instant::now();
+    let msel = max_subgraph_greedy(g, budgets[2]);
+    eprintln!("maxsg k={} in {:?}", budgets[2], t0.elapsed());
+    println!("\nMaxSG:");
+    for &k in &budgets {
+        let s = msel.truncated(k);
+        let sat = saturated_connectivity(g, s.brokers());
+        println!("  k={k:>6}  saturated={:.4}", sat.fraction);
+    }
+
+    // IXPB: all IXPs.
+    let ixpb = brokerset::baseline::ixp_based(&net, 0);
+    let sat = saturated_connectivity(g, ixpb.brokers());
+    println!(
+        "\nIXPB ({} IXPs): saturated={:.4} (paper: 0.157)",
+        ixpb.len(),
+        sat.fraction
+    );
+
+    // DB at ~1.9%.
+    let db = brokerset::baseline::degree_based(g, budgets[1]);
+    let sat = saturated_connectivity(g, db.brokers());
+    println!("DB   (k={}): saturated={:.4} (paper: 0.725 @1005)", budgets[1], sat.fraction);
+}

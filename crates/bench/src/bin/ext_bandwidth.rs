@@ -1,0 +1,63 @@
+//! Extension experiment: bandwidth brokering under load.
+//!
+//! The alliance plays the bandwidth-broker role end-to-end: per-edge
+//! capacities by tier, arriving demands admitted only over dominating
+//! paths with residual capacity (one retry around saturated links).
+//! Sweeps the offered load and prints the admission/carried curves.
+//!
+//! Usage: `ext_bandwidth [tiny|quarter|full] [seed]`
+
+use bench::{header, pct, RunConfig};
+use brokerset::max_subgraph_greedy;
+use netgraph::NodeId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing::{admit_demands, CapacityModel, Demand};
+
+fn main() {
+    let rc = RunConfig::from_args();
+    let net = rc.internet();
+    let g = net.graph();
+    let n = g.node_count();
+    header(
+        "Extension: bandwidth",
+        "capacity-aware admission over dominating paths",
+    );
+
+    let sel = max_subgraph_greedy(g, rc.budgets(n)[2]);
+    let cap = CapacityModel::sample(&net, rc.seed ^ 0xcab);
+
+    println!(
+        "{:<12} {:<12} {:<14} {:<10}",
+        "per-demand", "admitted", "carried/req", "detours"
+    );
+    for bw in [0.05, 0.5, 2.0, 5.0, 10.0] {
+        let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ 0xdead);
+        // Hot-spot traffic: most demands converge on a handful of popular
+        // destinations (CDN-like), which is what actually stresses the
+        // access links.
+        let hot: Vec<NodeId> = (0..10).map(|_| NodeId(rng.gen_range(0..n as u32))).collect();
+        let demands: Vec<Demand> = (0..2500)
+            .map(|i| Demand {
+                src: NodeId(rng.gen_range(0..n as u32)),
+                dst: hot[i % hot.len()],
+                bandwidth: bw,
+            })
+            .filter(|d| d.src != d.dst)
+            .collect();
+        let rep = admit_demands(g, sel.brokers(), &cap, &demands);
+        println!(
+            "{:<12} {:<12} {:<14} {:<10}",
+            bw,
+            pct(rep.admission_ratio()),
+            pct(rep.carried / rep.requested.max(1e-9)),
+            rep.detoured
+        );
+    }
+    println!(
+        "\nreading: admission stays near the dominated-reachability ceiling\n\
+         until per-demand bandwidth approaches access-link capacity (10),\n\
+         then the brokerage starts detouring and finally rejecting."
+    );
+}

@@ -1,0 +1,62 @@
+//! Extension experiment: how much BGP default traffic is already
+//! supervised?
+//!
+//! The brokerage runs alongside BGP; traffic that is *not* shifted to
+//! brokered routes still follows the BGP default path. This experiment
+//! measures, per broker budget, the fraction of default (Gao–Rexford
+//! preferred) paths that happen to be B-dominated already — supervision
+//! the alliance gets for free — versus the fraction achievable by
+//! actively stitching (the saturated connectivity).
+//!
+//! Usage: `ext_bgp [tiny|quarter|full] [seed]`
+
+use bench::{header, pct, RunConfig};
+use brokerset::{max_subgraph_greedy, saturated_connectivity};
+use netgraph::NodeId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing::{bgp_paths_dominated, PolicyGraph};
+
+fn main() {
+    let rc = RunConfig::from_args();
+    let net = rc.internet();
+    let g = net.graph();
+    let n = g.node_count();
+    header(
+        "Extension: BGP",
+        "share of default BGP paths already B-dominated",
+    );
+
+    let pg = PolicyGraph::new(&net);
+    let run = max_subgraph_greedy(g, rc.budgets(n)[2]);
+
+    // Sample AS destinations uniformly (IXPs are fabric, not endpoints).
+    let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ 0xb6b);
+    let mut dests: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| net.kind(v).is_as())
+        .collect();
+    dests.shuffle(&mut rng);
+    dests.truncate(12);
+
+    println!(
+        "{:<8} {:<22} {:<22}",
+        "k", "default paths dominated", "stitched (saturated)"
+    );
+    for &k in &rc.budgets(n) {
+        let sel = run.truncated(k);
+        let free = bgp_paths_dominated(&pg, sel.brokers(), &dests);
+        let stitched = saturated_connectivity(g, sel.brokers()).fraction;
+        println!(
+            "{:<8} {:<22} {:<22}",
+            sel.len(),
+            pct(free),
+            pct(stitched)
+        );
+    }
+    println!(
+        "\nreading: the gap between the columns is the traffic that must be\n\
+         actively re-routed through the brokerage to gain supervision."
+    );
+}

@@ -1,0 +1,59 @@
+//! Extension experiment: alliance robustness under broker failures.
+//!
+//! Targeted defection of the founding members versus random failures,
+//! and the recovery achievable with greedy replacement recruiting.
+//!
+//! Usage: `ext_resilience [tiny|quarter|full] [seed]`
+
+use bench::{header, pct, RunConfig};
+use brokerset::{
+    failure_trace, greedy_repair, max_subgraph_greedy, saturated_connectivity, FailureOrder,
+};
+use netgraph::NodeSet;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let rc = RunConfig::from_args();
+    let net = rc.internet();
+    let g = net.graph();
+    let n = g.node_count();
+    header("Extension: resilience", "connectivity under broker failures");
+
+    let sel = max_subgraph_greedy(g, rc.budgets(n)[2]);
+    let targeted = failure_trace(g, &sel, FailureOrder::TargetedBySelectionRank, 10);
+    let random = failure_trace(
+        g,
+        &sel,
+        FailureOrder::Random { seed: rc.seed ^ 0xfa11 },
+        10,
+    );
+
+    println!("{:<10} {:<12} {:<12}", "removed", "targeted", "random");
+    for i in 0..targeted.connectivity.len() {
+        println!(
+            "{:<10} {:<12} {:<12}",
+            format!("{:.0}%", 100.0 * targeted.removed_fraction[i]),
+            pct(targeted.connectivity[i]),
+            pct(random.connectivity[i]),
+        );
+    }
+
+    // Repair: fail top 10%, recruit the same number of replacements.
+    let n_fail = sel.len() / 10;
+    let mut survivors = sel.brokers().clone();
+    let mut failed = NodeSet::new(n);
+    for &v in sel.order().iter().take(n_fail) {
+        survivors.remove(v);
+        failed.insert(v);
+    }
+    let broken = saturated_connectivity(g, &survivors).fraction;
+    let mut rng = ChaCha8Rng::seed_from_u64(rc.seed);
+    let repaired = greedy_repair(g, &survivors, &failed, n_fail, &mut rng);
+    let fixed = saturated_connectivity(g, repaired.brokers()).fraction;
+    println!(
+        "\nrepair: fail top {n_fail} -> {}; recruit {n_fail} replacements -> {}",
+        pct(broken),
+        pct(fixed)
+    );
+}

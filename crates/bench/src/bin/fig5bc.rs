@@ -1,0 +1,63 @@
+//! Fig. 5b/c: E2E connectivity under real business relationships.
+//!
+//! Fig. 5c: forcing valley-free (directional) routing sharply reduces the
+//! broker set's E2E connectivity across budgets. Fig. 5b: randomly
+//! converting a fraction of inter-broker transit links to settlement-free
+//! peering (alliance-internal bidirectionality) recovers most of it —
+//! the paper: 30 % conversion brings a 1,000-broker set to 72.5 % and the
+//! 3,540-alliance to 84.68 %.
+//!
+//! Usage: `fig5bc [tiny|quarter|full] [seed]`
+
+use bench::{header, pct, RunConfig};
+use brokerset::{max_subgraph_greedy, saturated_connectivity};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing::{directional_connectivity, PolicyGraph};
+
+fn main() {
+    let rc = RunConfig::from_args();
+    let net = rc.internet();
+    let g = net.graph();
+    let n = g.node_count();
+    header(
+        "Fig 5b/c",
+        "directional connectivity and peering conversion",
+    );
+
+    let budgets = rc.budgets(n);
+    let run = max_subgraph_greedy(g, budgets[2]);
+    let pg = PolicyGraph::new(&net);
+    let mode = rc.source_mode();
+
+    println!(
+        "{:<8} {:<14} {:<14} directional with conversion at 10% / 30% / 100%",
+        "k",
+        "bidirectional",
+        "directional"
+    );
+    for &k in &budgets[1..] {
+        let sel = run.truncated(k);
+        let bidir = saturated_connectivity(g, sel.brokers()).fraction;
+        let dir = directional_connectivity(&pg, Some(sel.brokers()), mode).fraction;
+        let mut cells = String::new();
+        for frac in [0.1, 0.3, 1.0] {
+            let mut converted = pg.clone();
+            let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ (frac * 1000.0) as u64);
+            converted.convert_interbroker_to_peering(sel.brokers(), frac, &mut rng);
+            let rep = directional_connectivity(&converted, Some(sel.brokers()), mode);
+            cells.push_str(&format!("{:<10}", pct(rep.fraction)));
+        }
+        println!(
+            "{:<8} {:<14} {:<14} {}",
+            sel.len(),
+            pct(bidir),
+            pct(dir),
+            cells
+        );
+    }
+    println!(
+        "\npaper: sharp directional drop; with 30% conversion a 1,000-broker\n\
+         set reaches 72.5% and the 3,540-alliance 84.68%"
+    );
+}

@@ -1,0 +1,53 @@
+//! Table 2: summary of the dataset.
+//!
+//! The generated topology's aggregate statistics against the paper's 2014
+//! snapshot. At quarter/tiny scale the absolute counts shrink
+//! proportionally; ratios (IXP attachment, giant fraction) must match.
+//!
+//! Usage: `table2 [tiny|quarter|full] [seed]`
+
+use bench::{compare_row, header, pct, RunConfig};
+use topology::Scale;
+
+fn main() {
+    let rc = RunConfig::from_args();
+    let net = rc.internet();
+    let s = net.stats();
+    header("Table 2", "summary of the collected dataset");
+
+    let full = matches!(rc.scale, Scale::Full);
+    let paper = |v: &str| if full { v.to_string() } else { format!("{v} (full)") };
+
+    compare_row("IXPs", &paper("322"), &s.ixps.to_string());
+    compare_row("ASes", &paper("51,757"), &s.ases.to_string());
+    compare_row(
+        "size of the maximum connected subgraph",
+        &paper("51,895"),
+        &s.giant_component.to_string(),
+    );
+    compare_row(
+        "connections among ASes",
+        &paper("347,332"),
+        &s.as_as_edges.to_string(),
+    );
+    compare_row(
+        "connections between IXPs and ASes",
+        &paper("55,282"),
+        &s.as_ixp_edges.to_string(),
+    );
+    compare_row(
+        "AS pairs co-located at an IXP",
+        &paper("292,050"),
+        &s.ixp_mediated_pairs.to_string(),
+    );
+    println!(
+        "  (note: ours counts *potential* co-location pairs; the paper's row\n\
+         counts peerings actually observed over IXPs, a subset)"
+    );
+    compare_row(
+        "ASes directly connected to IXPs",
+        &paper("40.2%"),
+        &pct(s.frac_as_with_ixp),
+    );
+    println!("\nderived: mean degree {:.2}, max degree {}", s.mean_degree, s.max_degree);
+}

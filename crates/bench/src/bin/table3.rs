@@ -1,0 +1,65 @@
+//! Table 3: l-hop E2E connectivity of different topologies.
+//!
+//! ER-Random, WS-Small-World and BA-Scale-free graphs share the vertex
+//! and edge budget of the AS topology; "ASes with/without IXPs" are the
+//! generated Internet with IXPs as vertices and with them stripped.
+//! Connectivity here is free-path (B = V): the row shows how quickly each
+//! topology's pair distances saturate — the (α, β) structure Algorithm 2
+//! relies on.
+//!
+//! Usage: `table3 [tiny|quarter|full] [seed]`
+
+use bench::{header, pct, RunConfig};
+use bench::curve;
+use netgraph::{barabasi_albert, erdos_renyi_gnm, watts_strogatz, Graph, NodeSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let rc = RunConfig::from_args();
+    let net = rc.internet();
+    let g = net.graph();
+    let n = g.node_count();
+    let m = g.edge_count();
+    header(
+        "Table 3",
+        "l-hop E2E connectivity (free path selection) across topologies",
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ 0x7ab1e3);
+    let er = erdos_renyi_gnm(n, m, &mut rng);
+    // WS with matching mean degree 2k ~ 2m/n.
+    let k_ws = ((m as f64 / n as f64).round() as usize).max(1);
+    let ws = watts_strogatz(n, k_ws, 0.1, &mut rng);
+    let ba = barabasi_albert(n, k_ws, &mut rng);
+    let (no_ixp, _) = net.without_ixps();
+
+    let max_l = 6;
+    let rows: Vec<(&str, &Graph)> = vec![
+        ("ER-Random", &er),
+        ("WS-Small-World", &ws),
+        ("BA-Scale-free", &ba),
+        ("ASes with IXPs", g),
+        ("ASes without IXPs", &no_ixp),
+    ];
+
+    println!("{:<20} {}", "topology", (1..=max_l).map(|l| format!("l={l:<7}")).collect::<String>());
+    for (name, graph) in rows {
+        let curve = curve(
+            graph,
+            &NodeSet::full(graph.node_count()),
+            max_l,
+            rc.source_mode(),
+        );
+        let cells: String = curve
+            .fractions
+            .iter()
+            .map(|&f| format!("{:<8}", pct(f)))
+            .collect();
+        println!("{name:<20} {cells}");
+    }
+    println!(
+        "\npaper: ASes-with-IXPs reaches 99.21% at l = 4 (the (0.99, 4)-graph\n\
+         property); WS stays far below at small l; ER needs larger l than BA."
+    );
+}

@@ -1,0 +1,43 @@
+//! Table 4: minimal path inflation of the 6.8 % alliance.
+//!
+//! Compares the l-hop E2E connectivity of the MaxSG alliance (internal
+//! connections assumed bidirectional) with free path selection
+//! ("ASesWithIXPs"). The paper's finding: the two curves nearly overlap —
+//! supervision costs almost no extra hops.
+//!
+//! Usage: `table4 [tiny|quarter|full] [seed]`
+
+use bench::{header, pct, RunConfig};
+use brokerset::max_subgraph_greedy;
+use routing::inflation_report;
+
+fn main() {
+    let rc = RunConfig::from_args();
+    let net = rc.internet();
+    let g = net.graph();
+    header("Table 4", "path inflation: alliance vs free path selection");
+
+    let k = rc.budgets(g.node_count())[2];
+    let sel = max_subgraph_greedy(g, k);
+    eprintln!("[table4] alliance of {} brokers", sel.len());
+
+    let rep = inflation_report(g, sel.brokers(), 8, rc.source_mode());
+    println!(
+        "{:<6} {:<16} {:<16} {:<10}",
+        "l", "free path", "alliance", "gap"
+    );
+    for l in 0..rep.free.fractions.len() {
+        println!(
+            "{:<6} {:<16} {:<16} {:<10}",
+            l + 1,
+            pct(rep.free.fractions[l]),
+            pct(rep.dominated.fractions[l]),
+            format!("{:+.4}", rep.gap[l])
+        );
+    }
+    println!(
+        "\nmax gap: {:.4} (paper: the curves 'almost overlap'; contrast DB\n\
+         with ~1,000 brokers, which loses ~18 points at l = 4)",
+        rep.max_gap
+    );
+}

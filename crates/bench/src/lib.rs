@@ -1,0 +1,199 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Every `table*`/`fig*` binary follows the same shape: parse a scale and
+//! seed from the command line, generate (or reuse) the topology, run the
+//! experiment, and print the paper's reported numbers next to ours. The
+//! helpers here keep that uniform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use brokerset::SourceMode;
+use topology::{Internet, InternetConfig, Scale};
+
+/// Parsed command line shared by all experiment binaries:
+/// `<bin> [tiny|quarter|full] [seed]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Topology scale.
+    pub scale: Scale,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Parse from `std::env::args`. Defaults: quarter scale, seed 2014.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let scale = match args.get(1).map(String::as_str) {
+            Some("full") => Scale::Full,
+            Some("tiny") => Scale::Tiny,
+            Some("quarter") | None => Scale::Quarter,
+            Some(other) => {
+                eprintln!("unknown scale '{other}', using quarter");
+                Scale::Quarter
+            }
+        };
+        let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2014);
+        RunConfig { scale, seed }
+    }
+
+    /// Generate the topology for this run.
+    pub fn internet(&self) -> Internet {
+        let cfg = InternetConfig::scaled(self.scale);
+        eprintln!(
+            "[harness] generating {:?}-scale topology ({} nodes), seed {}",
+            self.scale,
+            cfg.node_count(),
+            self.seed
+        );
+        let t0 = std::time::Instant::now();
+        let net = cfg.generate(self.seed);
+        eprintln!("[harness] generated in {:?}", t0.elapsed());
+        net
+    }
+
+    /// The paper's three broker budgets (0.19 %, 1.9 %, 6.8 % of nodes),
+    /// scaled to this topology.
+    pub fn budgets(&self, node_count: usize) -> [usize; 3] {
+        [
+            budget(node_count, 0.0019),
+            budget(node_count, 0.019),
+            budget(node_count, 0.068),
+        ]
+    }
+
+    /// Source sampling mode adapted to scale: exact for tiny topologies,
+    /// sampled elsewhere (error shown by the evaluators).
+    pub fn source_mode(&self) -> SourceMode {
+        match self.scale {
+            Scale::Tiny => SourceMode::Exact,
+            Scale::Quarter => SourceMode::Sampled {
+                count: 1200,
+                seed: self.seed ^ 0x5eed,
+            },
+            Scale::Full => SourceMode::Sampled {
+                count: 1500,
+                seed: self.seed ^ 0x5eed,
+            },
+        }
+    }
+}
+
+fn budget(n: usize, frac: f64) -> usize {
+    ((n as f64 * frac).round() as usize).max(1)
+}
+
+/// Evaluate an l-hop curve using all available cores (identical output
+/// to the sequential evaluator).
+pub fn curve(
+    g: &netgraph::Graph,
+    brokers: &netgraph::NodeSet,
+    max_l: usize,
+    mode: SourceMode,
+) -> brokerset::connectivity::LhopCurve {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    brokerset::lhop_curve_parallel(g, brokers, max_l, mode, threads)
+}
+
+/// Provenance record written next to an experiment's stdout: which
+/// binary, scale and seed produced a result set, plus the measured
+/// values as free-form JSON.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (e.g. "table1").
+    pub id: String,
+    /// Scale the run used.
+    pub scale: String,
+    /// Topology seed.
+    pub seed: u64,
+    /// Measured values.
+    pub data: serde_json::Value,
+}
+
+impl ExperimentRecord {
+    /// Assemble a record for this run configuration.
+    pub fn new(id: &str, rc: &RunConfig, data: serde_json::Value) -> Self {
+        ExperimentRecord {
+            id: id.to_string(),
+            scale: format!("{:?}", rc.scale),
+            seed: rc.seed,
+            data,
+        }
+    }
+
+    /// Write the record to `results/<id>.<scale>.json` under `dir`,
+    /// creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization errors.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.{}.json", self.id, self.scale.to_lowercase()));
+        let json = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// Print a two-column "paper vs measured" comparison row.
+pub fn compare_row(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<44} paper: {paper:>12}   ours: {measured:>12}");
+}
+
+/// Print an experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("==========================================================");
+    println!("{id}: {title}");
+    println!("==========================================================");
+}
+
+/// Format a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_scale_with_node_count() {
+        let rc = RunConfig {
+            scale: Scale::Full,
+            seed: 1,
+        };
+        let b = rc.budgets(52_079);
+        assert_eq!(b, [99, 990, 3541]);
+        // never zero
+        assert_eq!(rc.budgets(10), [1, 1, 1]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5313), "53.13%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+
+    #[test]
+    fn experiment_record_roundtrip() {
+        let rc = RunConfig {
+            scale: Scale::Tiny,
+            seed: 9,
+        };
+        let rec = ExperimentRecord::new(
+            "table1",
+            &rc,
+            serde_json::json!({"k": [25, 247], "sat": [0.51, 0.88]}),
+        );
+        let dir = std::env::temp_dir().join("bench-record-test");
+        let path = rec.save(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.id, "table1");
+        assert_eq!(back.seed, 9);
+        assert_eq!(back.data["k"][0], 25);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,87 @@
+//! Smoke tests: every table/figure/extension binary runs to completion
+//! at tiny scale and prints its headline sections.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+macro_rules! smoke {
+    ($name:ident, $binenv:expr, $needle:expr) => {
+        #[test]
+        fn $name() {
+            let text = run($binenv, &["tiny", "7"]);
+            assert!(
+                text.contains($needle),
+                "{} output missing '{}':\n{}",
+                $binenv,
+                $needle,
+                text
+            );
+        }
+    };
+}
+
+smoke!(table1_runs, env!("CARGO_BIN_EXE_table1"), "alliance size vs coverage");
+smoke!(table2_runs, env!("CARGO_BIN_EXE_table2"), "summary of the collected dataset");
+smoke!(table3_runs, env!("CARGO_BIN_EXE_table3"), "ASes with IXPs");
+smoke!(table4_runs, env!("CARGO_BIN_EXE_table4"), "path inflation");
+smoke!(table5_runs, env!("CARGO_BIN_EXE_table5"), "rank");
+smoke!(fig1_runs, env!("CARGO_BIN_EXE_fig1"), "scale-free");
+smoke!(fig3_runs, env!("CARGO_BIN_EXE_fig3"), "corr(PR, gain)");
+smoke!(fig4_runs, env!("CARGO_BIN_EXE_fig4"), "core (p99+)");
+smoke!(fig5a_runs, env!("CARGO_BIN_EXE_fig5a"), "composition of the");
+smoke!(econ_runs, env!("CARGO_BIN_EXE_econ"), "Stackelberg equilibrium");
+smoke!(ext_bgp_runs, env!("CARGO_BIN_EXE_ext_bgp"), "default paths dominated");
+smoke!(
+    ext_resilience_runs,
+    env!("CARGO_BIN_EXE_ext_resilience"),
+    "targeted"
+);
+smoke!(ext_sla_runs, env!("CARGO_BIN_EXE_ext_sla"), "violation rate supervised");
+smoke!(
+    ext_bandwidth_runs,
+    env!("CARGO_BIN_EXE_ext_bandwidth"),
+    "per-demand"
+);
+smoke!(ext_econ_runs, env!("CARGO_BIN_EXE_ext_econ"), "profit x cov");
+smoke!(
+    ext_evolution_runs,
+    env!("CARGO_BIN_EXE_ext_evolution"),
+    "jaccard"
+);
+
+#[test]
+fn fig2a_runs_with_reduced_iterations() {
+    let text = run(env!("CARGO_BIN_EXE_fig2a"), &["tiny", "7", "20"]);
+    assert!(text.contains("mean SC size"), "{text}");
+}
+
+#[test]
+fn fig2b_runs() {
+    let text = run(env!("CARGO_BIN_EXE_fig2b"), &["tiny", "7"]);
+    assert!(text.contains("Panel 1"), "{text}");
+    assert!(text.contains("ASesWithIXPs"), "{text}");
+}
+
+#[test]
+fn fig5bc_runs() {
+    let text = run(env!("CARGO_BIN_EXE_fig5bc"), &["tiny", "7"]);
+    assert!(text.contains("bidirectional"), "{text}");
+}
+
+#[test]
+fn calibrate_runs() {
+    let text = run(env!("CARGO_BIN_EXE_calibrate"), &["tiny", "7"]);
+    assert!(text.contains("greedy MCB"), "{text}");
+}

@@ -1,0 +1,305 @@
+//! Algorithm 2: the approximation algorithm for MCBG on (α, β)-graphs.
+//!
+//! The broker budget `k` is split in two:
+//!
+//! 1. `B^p` — `x*` brokers pre-selected by the greedy MCB Algorithm 1,
+//!    where `x* = ⌊(k − 1) / ⌈β/2⌉⌋ + 1` is the largest integer with
+//!    `x* + (x* − 1)(⌈β/2⌉ − 1) ≤ k`;
+//! 2. `B^r` — stitching brokers: for a candidate *root* `r ∈ B^p`, walk
+//!    the shortest path from every other pre-selected broker to `r` and
+//!    add every second vertex so the path becomes `(B^p ∪ B^r)`-
+//!    dominating. The root minimizing `|B^r|` wins.
+//!
+//! Because the (α, β) property bounds inter-broker shortest paths by β
+//! hops (w.h.p.), each non-root broker contributes at most `⌈β/2⌉ − 1`
+//! stitches and the total stays within `k` — up to the α-tail, which is
+//! why the paper's concrete runs come out slightly above the nominal
+//! budget (1,064 for k = 1,000; 3,688 for k = 3,540). We reproduce that
+//! behaviour: the returned set is *not* truncated, and its realized size
+//! is part of the result.
+//!
+//! Root evaluation needs one BFS tree per candidate root
+//! (`O(x*(|V| + |E|))` total, the practical face of the paper's
+//! `O(k²(|V| log |V| + |E|))` bound). [`ApproxConfig::root_sample`]
+//! optionally evaluates a random subset of roots — the ablation bench
+//! quantifies the loss.
+
+use crate::greedy::greedy_mcb;
+use crate::problem::BrokerSelection;
+use netgraph::traverse::{bfs_parents, path_from_parents};
+use netgraph::{Graph, NodeId, NodeSet};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tuning for [`approx_mcbg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApproxConfig {
+    /// The β of the (α, β)-graph assumption (4 for the AS topology).
+    pub beta: usize,
+    /// Evaluate only this many randomly chosen roots instead of all of
+    /// `B^p` (None = all roots, the paper's algorithm).
+    pub root_sample: Option<usize>,
+    /// Seed for root sampling.
+    pub seed: u64,
+    /// Re-invest leftover budget: when the realized stitch set `B^r`
+    /// comes out smaller than the `(x* − 1)(⌈β/2⌉ − 1)` worst case the
+    /// split reserves for it, spend the remainder on additional greedy
+    /// coverage brokers (repeating the stitching pass so the guarantee
+    /// is preserved). The paper's Algorithm 2 does not do this — it was
+    /// tuned for a topology where stitches consume the reserve — so the
+    /// strict variant (`false`) is kept for the ablation bench.
+    pub reinvest: bool,
+}
+
+impl ApproxConfig {
+    /// The paper's configuration for the AS-level topology: β = 4, all
+    /// roots evaluated, leftover budget re-invested.
+    pub fn paper() -> Self {
+        ApproxConfig {
+            beta: 4,
+            root_sample: None,
+            seed: 0,
+            reinvest: true,
+        }
+    }
+
+    /// Strict Algorithm 2 as printed in the paper: no budget
+    /// re-investment.
+    pub fn strict() -> Self {
+        ApproxConfig {
+            reinvest: false,
+            ..ApproxConfig::paper()
+        }
+    }
+
+    /// `x* = ⌊(k − 1)/⌈β/2⌉⌋ + 1` pre-selected brokers for budget `k`.
+    pub fn x_star(&self, k: usize) -> usize {
+        if k == 0 {
+            return 0;
+        }
+        let half_beta = self.beta.div_ceil(2).max(1);
+        (k - 1) / half_beta + 1
+    }
+}
+
+/// Run Algorithm 2 with budget `k`.
+///
+/// The returned selection lists `B^p` first (in greedy order) followed by
+/// the stitching brokers `B^r`; its size may slightly exceed `k` when
+/// some inter-broker shortest path is longer than β (the α-tail), exactly
+/// as in the paper's reported runs.
+///
+/// # Panics
+///
+/// Panics if `cfg.beta == 0`.
+pub fn approx_mcbg(g: &Graph, k: usize, cfg: &ApproxConfig) -> BrokerSelection {
+    assert!(cfg.beta > 0, "beta must be positive");
+    let n = g.node_count();
+    if k == 0 || n == 0 {
+        return BrokerSelection::new("approx-mcbg", n, Vec::new());
+    }
+    let mut pre_size = cfg.x_star(k).min(k);
+    // Re-investment loop: enlarge B^p while the realized total stays
+    // under budget. Bounded, and each round strictly grows pre_size.
+    for _round in 0..4 {
+        let pre = greedy_mcb(g, pre_size);
+        let pre_nodes: Vec<NodeId> = pre.order().to_vec();
+        if pre_nodes.len() <= 1 {
+            return BrokerSelection::new("approx-mcbg", n, pre_nodes);
+        }
+        let stitches = best_stitches(g, &pre, cfg);
+        let total = pre_nodes.len() + stitches.len();
+        let coverage_exhausted = pre_nodes.len() < pre_size; // greedy stopped early
+        if !cfg.reinvest || total >= k || coverage_exhausted {
+            let mut order = pre_nodes;
+            order.extend(stitches);
+            return BrokerSelection::new("approx-mcbg", n, order);
+        }
+        pre_size += k - total;
+    }
+    // Final pass after the last enlargement.
+    let pre = greedy_mcb(g, pre_size);
+    let stitches = best_stitches(g, &pre, cfg);
+    let mut order = pre.order().to_vec();
+    order.extend(stitches);
+    BrokerSelection::new("approx-mcbg", n, order)
+}
+
+/// For each candidate root, stitch every pre-selected broker's shortest
+/// path to the root; return the smallest stitch set found (selection
+/// order preserved).
+fn best_stitches(g: &Graph, pre: &BrokerSelection, cfg: &ApproxConfig) -> Vec<NodeId> {
+    let n = g.node_count();
+    let pre_nodes = pre.order();
+    let pre_set = pre.brokers();
+    let roots: Vec<NodeId> = match cfg.root_sample {
+        None => pre_nodes.to_vec(),
+        Some(s) => {
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+            let mut cand = pre_nodes.to_vec();
+            cand.shuffle(&mut rng);
+            cand.truncate(s.max(1));
+            cand
+        }
+    };
+
+    let mut best: Option<Vec<NodeId>> = None;
+    for &r in &roots {
+        let parents = bfs_parents(g, r);
+        let mut stitches = NodeSet::new(n);
+        let mut stitch_order: Vec<NodeId> = Vec::new();
+        for &v in pre_nodes {
+            if v == r {
+                continue;
+            }
+            let Some(path) = path_from_parents(&parents, r, v) else {
+                continue; // disconnected pre-broker: cannot stitch
+            };
+            // Make the path (B^p ∪ B^r)-dominating: scan hops, adding the
+            // far endpoint whenever a hop has no broker endpoint.
+            for i in 0..path.len() - 1 {
+                let a = path[i];
+                let b = path[i + 1];
+                let dominated = pre_set.contains(a)
+                    || pre_set.contains(b)
+                    || stitches.contains(a)
+                    || stitches.contains(b);
+                if !dominated {
+                    stitches.insert(b);
+                    stitch_order.push(b);
+                }
+            }
+        }
+        let better = best.as_ref().is_none_or(|b| stitch_order.len() < b.len());
+        if better {
+            best = Some(stitch_order);
+        }
+    }
+    best.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::dominated_components;
+    use crate::coverage::dominated_set;
+    use netgraph::graph::from_edges;
+    use proptest::prelude::*;
+
+    #[test]
+    fn x_star_formula() {
+        let cfg = ApproxConfig::paper(); // beta 4 -> ceil(beta/2) = 2
+        assert_eq!(cfg.x_star(1), 1);
+        assert_eq!(cfg.x_star(2), 1);
+        assert_eq!(cfg.x_star(3), 2);
+        assert_eq!(cfg.x_star(1000), 500); // floor(999/2)+1
+        assert_eq!(cfg.x_star(3540), 1770);
+        // beta odd: theta uses ceil.
+        let cfg3 = ApproxConfig {
+            beta: 3,
+            ..ApproxConfig::paper()
+        };
+        assert_eq!(cfg3.x_star(10), 5); // floor(9/2)+1
+        assert_eq!(cfg3.x_star(0), 0);
+    }
+
+    #[test]
+    fn star_needs_no_stitching() {
+        let g = from_edges(6, (1..6).map(|i| (NodeId(0), NodeId(i))));
+        let sel = approx_mcbg(&g, 3, &ApproxConfig::paper());
+        assert_eq!(sel.order(), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn two_hubs_get_stitched() {
+        // Two stars joined by a 3-hop bridge of plain vertices:
+        // hub 0 (leaves 1..4), hub 5 (leaves 6..9), bridge 0-10-11-5.
+        let mut edges: Vec<(NodeId, NodeId)> = (1..5).map(|i| (NodeId(0), NodeId(i))).collect();
+        edges.extend((6..10).map(|i| (NodeId(5), NodeId(i))));
+        edges.push((NodeId(0), NodeId(10)));
+        edges.push((NodeId(10), NodeId(11)));
+        edges.push((NodeId(11), NodeId(5)));
+        let g = from_edges(12, edges);
+        let cfg = ApproxConfig::paper();
+        let sel = approx_mcbg(&g, 4, &cfg);
+        // Pre-selection: hubs 0 and 5 (x* = 2 for k = 4).
+        assert!(sel.brokers().contains(NodeId(0)));
+        assert!(sel.brokers().contains(NodeId(5)));
+        // Path 0-10-11-5: hop 10-11 has no broker endpoint until a stitch
+        // is added.
+        let comps = dominated_components(&g, sel.brokers());
+        assert_eq!(comps.giant().unwrap().1, 12, "stitched set must connect all");
+        assert!(sel.len() <= 4);
+    }
+
+    #[test]
+    fn k_zero_and_empty() {
+        let g = from_edges(3, [(NodeId(0), NodeId(1))]);
+        assert!(approx_mcbg(&g, 0, &ApproxConfig::paper()).is_empty());
+        let empty = from_edges(0, std::iter::empty());
+        assert!(approx_mcbg(&empty, 5, &ApproxConfig::paper()).is_empty());
+    }
+
+    #[test]
+    fn root_sampling_still_valid() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let g = netgraph::barabasi_albert(200, 3, &mut rng);
+        let cfg = ApproxConfig {
+            beta: 4,
+            root_sample: Some(2),
+            seed: 7,
+            reinvest: true,
+        };
+        let sel = approx_mcbg(&g, 20, &cfg);
+        // Covered set must form one dominated component.
+        let covered = dominated_set(&g, sel.brokers());
+        let comps = dominated_components(&g, sel.brokers());
+        assert_eq!(comps.giant().unwrap().1, covered.len());
+    }
+
+    proptest! {
+        /// The defining MCBG guarantee: every pair of covered vertices is
+        /// joined by a B-dominating path, i.e. the whole covered set lies
+        /// in one component of the dominated edge graph (on connected
+        /// inputs).
+        #[test]
+        fn covered_set_is_one_dominated_component(seed in 0u64..40, k in 2usize..12) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let g = netgraph::barabasi_albert(80, 2, &mut rng);
+            let sel = approx_mcbg(&g, k, &ApproxConfig::paper());
+            let covered = dominated_set(&g, sel.brokers());
+            let comps = dominated_components(&g, sel.brokers());
+            prop_assert_eq!(comps.giant().unwrap().1, covered.len(),
+                "covered set split across dominated components");
+        }
+
+        /// Budget of the strict paper variant: |B| ≤ k whenever the graph
+        /// respects the β bound (BA graphs at this size have tiny
+        /// diameters, so assert the strict budget).
+        #[test]
+        fn size_within_budget_on_small_world(seed in 0u64..40, k in 2usize..12) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let g = netgraph::barabasi_albert(80, 3, &mut rng);
+            let sel = approx_mcbg(&g, k, &ApproxConfig::strict());
+            prop_assert!(sel.len() <= k, "|B| = {} > k = {k}", sel.len());
+        }
+
+        /// Re-investment spends more of the budget and never loses
+        /// coverage relative to the strict variant.
+        #[test]
+        fn reinvest_dominates_strict(seed in 0u64..40, k in 4usize..16) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let g = netgraph::barabasi_albert(80, 3, &mut rng);
+            let strict = approx_mcbg(&g, k, &ApproxConfig::strict());
+            let reinvest = approx_mcbg(&g, k, &ApproxConfig::paper());
+            let cov_s = dominated_set(&g, strict.brokers()).len();
+            let cov_r = dominated_set(&g, reinvest.brokers()).len();
+            prop_assert!(cov_r >= cov_s, "reinvest coverage {cov_r} < strict {cov_s}");
+            // Realized size stays near the budget (paper overshoots too:
+            // 1,064 for k = 1,000).
+            prop_assert!(reinvest.len() <= k + k / 2 + 1);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Exact (exponential) solvers for PDS, MCB and MCBG on small graphs.
+//!
+//! The paper proves PDS NP-complete (Lemma 1), MCBG NP-hard (Theorem 2)
+//! and APX-hard on (α, β)-graphs (Theorem 4); these brute-force solvers
+//! exist to *validate* the polynomial algorithms against ground truth on
+//! small instances — the property tests check Algorithm 1's (1 − 1/e)
+//! bound and Algorithm 2's Theorem-3 ratio empirically.
+//!
+//! All solvers enumerate subsets by bitmask and are capped at 24
+//! vertices.
+
+use crate::connectivity::dominated_components;
+use crate::coverage::coverage;
+use crate::problem::BrokerSelection;
+use netgraph::{Graph, NodeId, NodeSet};
+
+const MAX_EXACT_NODES: usize = 24;
+
+fn assert_small(g: &Graph) {
+    assert!(
+        g.node_count() <= MAX_EXACT_NODES,
+        "exact solvers capped at {MAX_EXACT_NODES} vertices, got {}",
+        g.node_count()
+    );
+}
+
+fn mask_to_set(g: &Graph, mask: u32) -> NodeSet {
+    NodeSet::from_iter_with_capacity(
+        g.node_count(),
+        (0..g.node_count() as u32)
+            .filter(|&v| mask >> v & 1 == 1)
+            .map(NodeId),
+    )
+}
+
+fn set_to_selection(algorithm: &str, g: &Graph, mask: u32) -> BrokerSelection {
+    BrokerSelection::new(
+        algorithm,
+        g.node_count(),
+        (0..g.node_count() as u32)
+            .filter(|&v| mask >> v & 1 == 1)
+            .map(NodeId)
+            .collect(),
+    )
+}
+
+/// Iterate all `|V| choose ≤ k` subsets via Gosper's hack per size class.
+fn for_each_subset_of_size(n: usize, k: usize, mut f: impl FnMut(u32) -> bool) {
+    if k == 0 || n == 0 {
+        f(0);
+        return;
+    }
+    for size in 1..=k.min(n) {
+        // First subset of `size` bits.
+        let mut mask: u32 = (1u32 << size) - 1;
+        let limit: u32 = 1u32 << n;
+        while mask < limit {
+            if f(mask) {
+                return;
+            }
+            // Gosper's hack: next subset with the same popcount.
+            let c = mask & mask.wrapping_neg();
+            let r = mask + c;
+            if r >= limit || c == 0 {
+                break;
+            }
+            mask = r | (((mask ^ r) >> 2) / c);
+        }
+    }
+}
+
+/// Exact PDS decision (Problem 1): is there a `B`, `|B| ≤ k`, giving a
+/// B-dominating path between *every* vertex pair? Returns a witness.
+///
+/// # Panics
+///
+/// Panics on graphs larger than 24 vertices.
+pub fn solve_pds_exact(g: &Graph, k: usize) -> Option<BrokerSelection> {
+    assert_small(g);
+    let n = g.node_count();
+    if n <= 1 {
+        return Some(set_to_selection("pds-exact", g, 0));
+    }
+    let mut witness = None;
+    for_each_subset_of_size(n, k, |mask| {
+        let set = mask_to_set(g, mask);
+        let comps = dominated_components(g, &set);
+        if comps.giant().is_some_and(|(_, s)| s == n) {
+            witness = Some(set_to_selection("pds-exact", g, mask));
+            true // stop
+        } else {
+            false
+        }
+    });
+    witness
+}
+
+/// Exact MCB optimum (Problem 3): the subset of size ≤ k maximizing
+/// `f(B) = |B ∪ N(B)|`. Returns the selection and its coverage.
+///
+/// # Panics
+///
+/// Panics on graphs larger than 24 vertices.
+pub fn solve_mcb_exact(g: &Graph, k: usize) -> (BrokerSelection, usize) {
+    assert_small(g);
+    let n = g.node_count();
+    let mut best_mask = 0u32;
+    let mut best_cov = 0usize;
+    for_each_subset_of_size(n, k, |mask| {
+        let cov = coverage(g, &mask_to_set(g, mask));
+        if cov > best_cov {
+            best_cov = cov;
+            best_mask = mask;
+        }
+        false
+    });
+    (set_to_selection("mcb-exact", g, best_mask), best_cov)
+}
+
+/// Exact MCBG optimum (Problem 2): maximize `|B ∪ N(B)|` subject to the
+/// B-dominating-path guarantee between every pair of covered vertices
+/// (the covered set must sit in one component of the dominated edge
+/// graph).
+///
+/// # Panics
+///
+/// Panics on graphs larger than 24 vertices.
+pub fn solve_mcbg_exact(g: &Graph, k: usize) -> (BrokerSelection, usize) {
+    assert_small(g);
+    let n = g.node_count();
+    let mut best_mask = 0u32;
+    let mut best_cov = 0usize;
+    for_each_subset_of_size(n, k, |mask| {
+        let set = mask_to_set(g, mask);
+        let covered = crate::coverage::dominated_set(g, &set);
+        if covered.len() <= best_cov {
+            return false;
+        }
+        // Guarantee check: all covered vertices in one dominated
+        // component.
+        let comps = dominated_components(g, &set);
+        let ok = comps.giant().is_some_and(|(_, s)| s >= covered.len());
+        if ok {
+            best_cov = covered.len();
+            best_mask = mask;
+        }
+        false
+    });
+    (set_to_selection("mcbg-exact", g, best_mask), best_cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{approx_mcbg, ApproxConfig};
+    use crate::greedy::greedy_mcb;
+    use netgraph::graph::from_edges;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn path_graph(n: u32) -> Graph {
+        from_edges(n as usize, (0..n - 1).map(|i| (NodeId(i), NodeId(i + 1))))
+    }
+
+    #[test]
+    fn pds_on_paths() {
+        // Path of 4 (0-1-2-3): k=1 insufficient, k=2 works ({1, 2}).
+        let g = path_graph(4);
+        assert!(solve_pds_exact(&g, 1).is_none());
+        let w = solve_pds_exact(&g, 2).expect("k=2 suffices");
+        assert!(crate::problem::solves_pds(&g, w.brokers()));
+        // Path of 3: the middle vertex alone suffices.
+        let g3 = path_graph(3);
+        let w3 = solve_pds_exact(&g3, 1).unwrap();
+        assert_eq!(w3.order(), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn pds_trivial_graphs() {
+        let empty = from_edges(0, std::iter::empty());
+        assert!(solve_pds_exact(&empty, 0).is_some());
+        let single = from_edges(1, std::iter::empty());
+        assert!(solve_pds_exact(&single, 0).is_some());
+        // Disconnected graph can never satisfy PDS.
+        let disc = from_edges(4, [(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]);
+        assert!(solve_pds_exact(&disc, 4).is_none());
+    }
+
+    #[test]
+    fn mcb_exact_on_star() {
+        let g = from_edges(6, (1..6).map(|i| (NodeId(0), NodeId(i))));
+        let (sel, cov) = solve_mcb_exact(&g, 1);
+        assert_eq!(sel.order(), &[NodeId(0)]);
+        assert_eq!(cov, 6);
+    }
+
+    #[test]
+    fn mcbg_no_worse_than_k_and_guaranteed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = netgraph::erdos_renyi_gnm(12, 18, &mut rng);
+        let (sel, cov) = solve_mcbg_exact(&g, 3);
+        assert!(sel.len() <= 3);
+        assert!(cov >= 1);
+        let comps = dominated_components(&g, sel.brokers());
+        let covered = crate::coverage::dominated_set(&g, sel.brokers());
+        assert!(comps.giant().unwrap().1 >= covered.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn exact_rejects_large_graphs() {
+        let g = from_edges(30, (0..29).map(|i| (NodeId(i), NodeId(i + 1))));
+        solve_mcb_exact(&g, 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Theorem-1 empirically: if PDS(k) is solvable, the MCBG optimum
+        /// covers everything.
+        #[test]
+        fn pds_solution_is_mcbg_solution(seed in 0u64..60) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = netgraph::erdos_renyi_gnm(10, 16, &mut rng);
+            let k = 3;
+            let pds = solve_pds_exact(&g, k);
+            let (_, cov) = solve_mcbg_exact(&g, k);
+            if pds.is_some() {
+                prop_assert_eq!(cov, g.node_count());
+            } else {
+                // A full-coverage guaranteed set would itself solve PDS,
+                // so the MCBG optimum must fall short of n.
+                prop_assert!(cov < g.node_count());
+            }
+        }
+
+        /// Algorithm 1 respects the (1 − 1/e) bound against the exact
+        /// MCB optimum.
+        #[test]
+        fn greedy_meets_approx_bound(seed in 0u64..60, k in 1usize..4) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = netgraph::erdos_renyi_gnm(13, 22, &mut rng);
+            let (_, opt) = solve_mcb_exact(&g, k);
+            let greedy_cov = coverage(&g, greedy_mcb(&g, k).brokers());
+            let bound = (1.0 - (-1.0f64).exp()) * opt as f64;
+            prop_assert!(greedy_cov as f64 >= bound - 1e-9,
+                "greedy {greedy_cov} below (1-1/e)*{opt}");
+        }
+
+        /// Algorithm 2 against the exact MCBG optimum: Theorem 3's ratio
+        /// is (1 − 1/e)/θ with θ = 2⌈β/2⌉ ≥ 4 for β = 4 — we check the
+        /// much stronger empirical ratio 1/4 ... and that the guarantee
+        /// constraint always holds.
+        #[test]
+        fn approx_mcbg_within_theorem3_ratio(seed in 0u64..60, k in 2usize..5) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = netgraph::erdos_renyi_gnm(12, 20, &mut rng);
+            let (_, opt) = solve_mcbg_exact(&g, k);
+            let apx = approx_mcbg(&g, k, &ApproxConfig::strict());
+            let covered = crate::coverage::dominated_set(&g, apx.brokers());
+            let comps = dominated_components(&g, apx.brokers());
+            // Guarantee: covered set in one dominated component.
+            prop_assert!(comps.giant().is_none_or(|(_, s)| s >= covered.len()));
+            // Theorem 3 ratio for beta=4: (1 - 1/e)/4 ≈ 0.158.
+            let ratio = (1.0 - (-1.0f64).exp()) / 4.0;
+            prop_assert!(covered.len() as f64 >= ratio * opt as f64 - 1e-9,
+                "approx coverage {} below ratio bound {:.3} * {opt}",
+                covered.len(), ratio);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Broker selection under path-length constraints (Problem 4).
+//!
+//! Problem 4 augments MCBG with per-pair path-length requirements,
+//! evaluated stochastically through Eq. (4): the selected set's l-hop
+//! connectivity curve must track a reference distribution within ε.
+//! [`select_with_length_constraint`] grows a MaxSG selection until the
+//! constraint is met (or the budget is exhausted), reporting the
+//! feasibility frontier it traversed.
+
+use crate::connectivity::{lhop_curve, SourceMode};
+use crate::maxsg::max_subgraph_greedy;
+use crate::problem::{BrokerSelection, PathLengthConstraint};
+use netgraph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a length-constrained selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LengthConstrainedSelection {
+    /// The selected broker set (the smallest tested prefix satisfying the
+    /// constraint, otherwise the full budget).
+    pub selection: BrokerSelection,
+    /// Whether Eq. (4) held at the returned size.
+    pub feasible: bool,
+    /// `(k, max deviation)` at every probed size, ascending.
+    pub frontier: Vec<(usize, f64)>,
+}
+
+/// Grow a MaxSG selection until its l-hop curve satisfies `constraint`.
+///
+/// Probes sizes `step, 2·step, …` up to `k_max` (binary-search-free: the
+/// deviation is monotone non-increasing in k up to sampling noise, and
+/// the probe cost is dominated by the curve evaluation anyway).
+///
+/// # Panics
+///
+/// Panics if `step == 0`.
+pub fn select_with_length_constraint(
+    g: &Graph,
+    k_max: usize,
+    step: usize,
+    constraint: &PathLengthConstraint,
+    mode: SourceMode,
+) -> LengthConstrainedSelection {
+    assert!(step > 0, "step must be positive");
+    let max_l = constraint.reference.len().max(1);
+    let run = max_subgraph_greedy(g, k_max);
+    let mut frontier = Vec::new();
+    let mut k = step.min(run.len().max(1));
+    loop {
+        let sel = run.truncated(k);
+        let curve = lhop_curve(g, sel.brokers(), max_l, mode);
+        let dev = constraint.max_deviation(&curve.fractions);
+        frontier.push((sel.len(), dev));
+        if dev <= constraint.epsilon {
+            return LengthConstrainedSelection {
+                selection: sel,
+                feasible: true,
+                frontier,
+            };
+        }
+        if k >= run.len() || k >= k_max {
+            return LengthConstrainedSelection {
+                selection: sel,
+                feasible: false,
+                frontier,
+            };
+        }
+        k = (k + step).min(k_max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::NodeSet;
+    use topology::{InternetConfig, Scale};
+
+    fn reference(g: &Graph, max_l: usize) -> Vec<f64> {
+        lhop_curve(g, &NodeSet::full(g.node_count()), max_l, SourceMode::Exact).fractions
+    }
+
+    #[test]
+    fn loose_constraint_feasible_small() {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(61);
+        let g = net.graph();
+        let c = PathLengthConstraint::new(reference(g, 6), 0.5); // very loose
+        let out = select_with_length_constraint(g, 200, 20, &c, SourceMode::Exact);
+        assert!(out.feasible);
+        assert!(out.selection.len() <= 200);
+        assert!(!out.frontier.is_empty());
+    }
+
+    #[test]
+    fn impossible_constraint_reports_infeasible() {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(61);
+        let g = net.graph();
+        // Reference demands perfection at l = 1 — impossible even for
+        // B = V on a sparse graph.
+        let c = PathLengthConstraint::new(vec![1.0; 4], 0.001);
+        let out = select_with_length_constraint(g, 60, 30, &c, SourceMode::Exact);
+        assert!(!out.feasible);
+        assert_eq!(out.frontier.len(), 2); // probed 30 and 60
+    }
+
+    #[test]
+    fn frontier_deviation_decreases() {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(61);
+        let g = net.graph();
+        let c = PathLengthConstraint::new(reference(g, 6), 0.0); // never met
+        let out = select_with_length_constraint(g, 120, 40, &c, SourceMode::Exact);
+        assert!(!out.feasible);
+        for w in out.frontier.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 0.02,
+                "deviation should shrink with k: {:?}",
+                out.frontier
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn zero_step_rejected() {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(61);
+        let c = PathLengthConstraint::new(vec![0.5], 0.1);
+        select_with_length_constraint(net.graph(), 10, 0, &c, SourceMode::Exact);
+    }
+}

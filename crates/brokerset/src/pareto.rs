@@ -1,0 +1,142 @@
+//! Budget–connectivity Pareto frontier and knee-point analysis.
+//!
+//! The paper's Remark after Fig. 2b: "the broker set's size can be
+//! greatly reduced if we mainly focus on the majority part of E2E AS
+//! connections". This module turns that into a tool: compute the full
+//! (k, connectivity) frontier from one selection run (via the
+//! incremental sweep) and locate the *knee* — the budget beyond which a
+//! percentage point of connectivity costs disproportionately many
+//! brokers.
+
+use crate::problem::BrokerSelection;
+use crate::sweep::connectivity_sweep;
+use netgraph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// The (budget, connectivity) frontier of a selection run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frontier {
+    /// `points[i] = (k, connectivity at k)` for k = 1..=len.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Frontier {
+    /// Compute the frontier of `sel` on `g`.
+    pub fn compute(g: &Graph, sel: &BrokerSelection) -> Frontier {
+        let sweep = connectivity_sweep(g, sel);
+        Frontier {
+            points: sweep
+                .fractions
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| (i + 1, f))
+                .collect(),
+        }
+    }
+
+    /// Smallest budget reaching at least `target` connectivity, if any.
+    pub fn budget_for(&self, target: f64) -> Option<usize> {
+        self.points.iter().find(|&&(_, f)| f >= target).map(|&(k, _)| k)
+    }
+
+    /// The knee point by the max-distance-to-chord rule: the point
+    /// farthest (in normalized coordinates) from the straight line
+    /// joining the frontier's endpoints. Returns `None` for frontiers
+    /// with fewer than 3 points.
+    pub fn knee(&self) -> Option<(usize, f64)> {
+        if self.points.len() < 3 {
+            return None;
+        }
+        let (k0, f0) = self.points[0];
+        let (k1, f1) = *self.points.last().unwrap();
+        let dk = (k1 - k0) as f64;
+        let df = f1 - f0;
+        if dk <= 0.0 {
+            return None;
+        }
+        let mut best = None;
+        let mut best_d = f64::NEG_INFINITY;
+        for &(k, f) in &self.points {
+            // Normalized coordinates in [0, 1]^2.
+            let x = (k - k0) as f64 / dk;
+            let y = if df.abs() < 1e-15 { 0.0 } else { (f - f0) / df };
+            // Distance above the diagonal y = x.
+            let d = y - x;
+            if d > best_d {
+                best_d = d;
+                best = Some((k, f));
+            }
+        }
+        best
+    }
+
+    /// Marginal connectivity per broker at each point (first differences).
+    pub fn marginals(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.points.len());
+        let mut prev = 0.0;
+        for &(_, f) in &self.points {
+            out.push(f - prev);
+            prev = f;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxsg::max_subgraph_greedy;
+    use topology::{InternetConfig, Scale};
+
+    fn frontier() -> Frontier {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(47);
+        let g = net.graph();
+        let sel = max_subgraph_greedy(g, 120);
+        Frontier::compute(g, &sel)
+    }
+
+    #[test]
+    fn frontier_monotone_with_budget() {
+        let f = frontier();
+        for w in f.points.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-15);
+            assert_eq!(w[1].0, w[0].0 + 1);
+        }
+    }
+
+    #[test]
+    fn budget_for_targets() {
+        let f = frontier();
+        let k50 = f.budget_for(0.5).expect("50% reachable");
+        let k90 = f.budget_for(0.9).expect("90% reachable");
+        assert!(k50 < k90, "cheaper target needs fewer brokers");
+        assert!(f.budget_for(1.1).is_none());
+    }
+
+    #[test]
+    fn knee_sits_between_extremes() {
+        let f = frontier();
+        let (k_knee, f_knee) = f.knee().expect("long frontier has a knee");
+        let (k_first, _) = f.points[0];
+        let (k_last, f_last) = *f.points.last().unwrap();
+        assert!(k_first < k_knee && k_knee < k_last);
+        // The knee already captures most of the final connectivity.
+        assert!(f_knee > 0.5 * f_last, "knee {f_knee} vs final {f_last}");
+    }
+
+    #[test]
+    fn marginals_sum_to_final() {
+        let f = frontier();
+        let total: f64 = f.marginals().iter().sum();
+        assert!((total - f.points.last().unwrap().1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_frontiers() {
+        let g = netgraph::graph::from_edges(2, [(netgraph::NodeId(0), netgraph::NodeId(1))]);
+        let sel = crate::greedy::greedy_mcb(&g, 1);
+        let f = Frontier::compute(&g, &sel);
+        assert_eq!(f.points.len(), 1);
+        assert!(f.knee().is_none());
+    }
+}

@@ -1,0 +1,242 @@
+//! Problem statements and the common result type of all selection
+//! algorithms.
+
+use netgraph::{Graph, NodeId, NodeSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The ordered outcome of a broker-selection algorithm.
+///
+/// Selection order is preserved — the paper ranks brokers by the
+/// iteration at which they were chosen (Table 5), and Fig. 2's curves are
+/// produced by truncating one long selection run at increasing k.
+///
+/// ```
+/// use brokerset::{greedy_mcb, BrokerSelection};
+/// use netgraph::{graph::from_edges, NodeId};
+///
+/// let g = from_edges(5, (1..5).map(|i| (NodeId(0), NodeId(i))));
+/// let sel: BrokerSelection = greedy_mcb(&g, 2);
+/// assert_eq!(sel.rank(NodeId(0)), Some(1)); // the hub is picked first
+/// assert!(sel.brokers().contains(NodeId(0)));
+/// assert_eq!(sel.truncated(1).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerSelection {
+    /// Short algorithm tag, e.g. `"greedy-mcb"`, `"maxsg"`, `"db"`.
+    algorithm: String,
+    /// Brokers in the order they were selected.
+    order: Vec<NodeId>,
+    /// Same brokers as a set, for O(1) membership tests.
+    set: NodeSet,
+}
+
+impl BrokerSelection {
+    /// Assemble a selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` contains duplicates or ids outside `0..capacity`.
+    pub fn new(algorithm: impl Into<String>, capacity: usize, order: Vec<NodeId>) -> Self {
+        let mut set = NodeSet::new(capacity);
+        for &v in &order {
+            assert!(set.insert(v), "duplicate broker {v} in selection order");
+        }
+        BrokerSelection {
+            algorithm: algorithm.into(),
+            order,
+            set,
+        }
+    }
+
+    /// Algorithm tag this selection came from.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Brokers in selection order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The broker set.
+    pub fn brokers(&self) -> &NodeSet {
+        &self.set
+    }
+
+    /// Number of brokers.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no broker was selected.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The selection truncated to its first `k` brokers (used to sweep k
+    /// without re-running the algorithm, exactly like the paper's Fig. 2b
+    /// size sweep for DB/PRB; note this is only meaningful for algorithms
+    /// whose prefix of length k equals their k-budget output).
+    pub fn truncated(&self, k: usize) -> BrokerSelection {
+        BrokerSelection::new(
+            self.algorithm.clone(),
+            self.set.capacity(),
+            self.order.iter().copied().take(k).collect(),
+        )
+    }
+
+    /// 1-based selection rank of a broker, `None` if not selected.
+    pub fn rank(&self, v: NodeId) -> Option<usize> {
+        self.order.iter().position(|&b| b == v).map(|i| i + 1)
+    }
+}
+
+impl fmt::Display for BrokerSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} selection of {} brokers", self.algorithm, self.len())
+    }
+}
+
+/// Path-length requirement of Problem 4 / Eq. (4): the broker set's l-hop
+/// connectivity curve must stay within `epsilon` of a reference curve at
+/// every l.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathLengthConstraint {
+    /// Reference cumulative distribution `F(l)` (fraction of all ordered
+    /// pairs connected within `l` hops), index 0 = l of 1.
+    pub reference: Vec<f64>,
+    /// Allowed uniform deviation ε.
+    pub epsilon: f64,
+}
+
+impl PathLengthConstraint {
+    /// Build from a reference curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or the reference is not a
+    /// monotone CDF in [0, 1].
+    pub fn new(reference: Vec<f64>, epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        for w in reference.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "reference curve must be non-decreasing"
+            );
+        }
+        if let (Some(&first), Some(&last)) = (reference.first(), reference.last()) {
+            assert!((0.0..=1.0 + 1e-12).contains(&first) && last <= 1.0 + 1e-12);
+        }
+        PathLengthConstraint { reference, epsilon }
+    }
+
+    /// Check a measured curve against the constraint: `|F_B(l) − F(l)| ≤ ε`
+    /// for every l present in both curves.
+    pub fn is_satisfied_by(&self, measured: &[f64]) -> bool {
+        self.max_deviation(measured) <= self.epsilon
+    }
+
+    /// Largest deviation between the curves over the common prefix; if
+    /// lengths differ, the shorter curve is extended with its final value
+    /// (a saturated CDF stays flat).
+    pub fn max_deviation(&self, measured: &[f64]) -> f64 {
+        let len = self.reference.len().max(measured.len());
+        let mut worst = 0.0f64;
+        for l in 0..len {
+            let r = extend(&self.reference, l);
+            let m = extend(measured, l);
+            worst = worst.max((r - m).abs());
+        }
+        worst
+    }
+}
+
+fn extend(curve: &[f64], i: usize) -> f64 {
+    if curve.is_empty() {
+        0.0
+    } else {
+        curve[i.min(curve.len() - 1)]
+    }
+}
+
+/// The decision version of the Path-Dominating Set problem (Problem 1):
+/// does `brokers` give every pair in the graph a B-dominating path?
+///
+/// Decided exactly by checking that the dominated edge set connects all
+/// vertices — `O(|V| + |E|)`.
+pub fn solves_pds(g: &Graph, brokers: &NodeSet) -> bool {
+    if g.node_count() <= 1 {
+        return true;
+    }
+    let comps = crate::connectivity::dominated_components(g, brokers);
+    comps.giant().is_some_and(|(_, s)| s == g.node_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::graph::from_edges;
+
+    #[test]
+    fn selection_preserves_order_and_set() {
+        let sel = BrokerSelection::new("test", 10, vec![NodeId(5), NodeId(2), NodeId(7)]);
+        assert_eq!(sel.order(), &[NodeId(5), NodeId(2), NodeId(7)]);
+        assert!(sel.brokers().contains(NodeId(2)));
+        assert_eq!(sel.len(), 3);
+        assert_eq!(sel.rank(NodeId(2)), Some(2));
+        assert_eq!(sel.rank(NodeId(9)), None);
+        assert_eq!(sel.algorithm(), "test");
+        assert!(!sel.is_empty());
+        assert!(sel.to_string().contains("3 brokers"));
+    }
+
+    #[test]
+    fn truncation() {
+        let sel = BrokerSelection::new("t", 10, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let t = sel.truncated(2);
+        assert_eq!(t.order(), &[NodeId(1), NodeId(2)]);
+        assert_eq!(sel.truncated(99).len(), 3);
+        assert!(sel.truncated(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate broker")]
+    fn duplicate_brokers_rejected() {
+        BrokerSelection::new("t", 10, vec![NodeId(1), NodeId(1)]);
+    }
+
+    #[test]
+    fn path_length_constraint_checks() {
+        let c = PathLengthConstraint::new(vec![0.2, 0.6, 0.9, 0.99], 0.05);
+        assert!(c.is_satisfied_by(&[0.18, 0.58, 0.91, 0.99]));
+        assert!(!c.is_satisfied_by(&[0.18, 0.40, 0.91, 0.99]));
+        // Shorter measured curve extends flat.
+        assert!(c.is_satisfied_by(&[0.2, 0.6, 0.9, 0.99, 0.99, 0.99]));
+        let dev = c.max_deviation(&[0.2, 0.6, 0.9]);
+        assert!((dev - 0.09).abs() < 1e-12); // 0.99 vs flat 0.9
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_reference_rejected() {
+        PathLengthConstraint::new(vec![0.5, 0.4], 0.1);
+    }
+
+    #[test]
+    fn pds_decision() {
+        // Path 0-1-2: {1} dominates both edges -> all pairs have
+        // dominating paths.
+        let g = from_edges(3, [(0, 1), (1, 2)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let mut b = NodeSet::new(3);
+        b.insert(NodeId(1));
+        assert!(solves_pds(&g, &b));
+        // {0} leaves edge 1-2 undominated -> vertex 2 unreachable.
+        let mut b0 = NodeSet::new(3);
+        b0.insert(NodeId(0));
+        assert!(!solves_pds(&g, &b0));
+        // Trivial graphs.
+        assert!(solves_pds(&from_edges(1, std::iter::empty()), &NodeSet::new(1)));
+        assert!(solves_pds(&from_edges(0, std::iter::empty()), &NodeSet::new(0)));
+    }
+}

@@ -1,0 +1,227 @@
+//! Failure injection: what happens to the alliance's connectivity when
+//! brokers fail or defect?
+//!
+//! The paper's economic analysis (Theorems 7/8) argues no broker *wants*
+//! to leave; this module quantifies what the network loses when brokers
+//! leave anyway — by targeted attack on the highest-impact members or by
+//! random failure — the classic robustness lens on scale-free systems.
+
+use crate::connectivity::saturated_connectivity;
+use crate::problem::BrokerSelection;
+use netgraph::{Graph, NodeId, NodeSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which brokers are removed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureOrder {
+    /// Remove in selection order (highest-impact first — targeted
+    /// attack / coordinated defection of the founding members).
+    TargetedBySelectionRank,
+    /// Remove uniformly at random (independent failures).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Connectivity trace as brokers are removed one group at a time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceTrace {
+    /// Fraction of brokers removed at each step (0.0 first).
+    pub removed_fraction: Vec<f64>,
+    /// Saturated connectivity at each step.
+    pub connectivity: Vec<f64>,
+}
+
+impl ResilienceTrace {
+    /// Connectivity lost between the intact alliance and the final step.
+    pub fn total_degradation(&self) -> f64 {
+        match (self.connectivity.first(), self.connectivity.last()) {
+            (Some(&a), Some(&b)) => a - b,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Remove brokers in `steps` equal batches according to `order`,
+/// measuring saturated connectivity after each batch.
+///
+/// # Panics
+///
+/// Panics if `steps == 0`.
+pub fn failure_trace(
+    g: &Graph,
+    sel: &BrokerSelection,
+    order: FailureOrder,
+    steps: usize,
+) -> ResilienceTrace {
+    assert!(steps > 0, "need at least one step");
+    let victims: Vec<NodeId> = match order {
+        FailureOrder::TargetedBySelectionRank => sel.order().to_vec(),
+        FailureOrder::Random { seed } => {
+            use rand::SeedableRng;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut v = sel.order().to_vec();
+            v.shuffle(&mut rng);
+            v
+        }
+    };
+    let mut alive: NodeSet = sel.brokers().clone();
+    let mut removed_fraction = vec![0.0];
+    let mut connectivity = vec![saturated_connectivity(g, &alive).fraction];
+    let batch = victims.len().div_ceil(steps).max(1);
+    let mut removed = 0usize;
+    for chunk in victims.chunks(batch) {
+        for &v in chunk {
+            alive.remove(v);
+            removed += 1;
+        }
+        removed_fraction.push(removed as f64 / victims.len().max(1) as f64);
+        connectivity.push(saturated_connectivity(g, &alive).fraction);
+    }
+    ResilienceTrace {
+        removed_fraction,
+        connectivity,
+    }
+}
+
+/// Repair policy after failures: spend `budget` replacement brokers,
+/// chosen greedily by dominated-component growth (the MaxSG step),
+/// excluding the failed vertices. Returns the repaired selection.
+pub fn greedy_repair<R: Rng>(
+    g: &Graph,
+    survivors: &NodeSet,
+    failed: &NodeSet,
+    budget: usize,
+    _rng: &mut R,
+) -> BrokerSelection {
+    // Start from the survivors and extend with MaxSG-style picks that
+    // avoid the failed vertices.
+    let n = g.node_count();
+    let mut order: Vec<NodeId> = survivors.iter().collect();
+    let mut brokers = survivors.clone();
+    for _ in 0..budget {
+        let comps = crate::connectivity::dominated_components(g, &brokers);
+        let mut best: Option<(u64, NodeId)> = None;
+        for w in g.nodes() {
+            if brokers.contains(w) || failed.contains(w) {
+                continue;
+            }
+            // Size of the merged component around w.
+            let mut seen: Vec<u32> = Vec::new();
+            let mut score = 0u64;
+            let push = |label: u32, size: usize, seen: &mut Vec<u32>| {
+                if label != u32::MAX && !seen.contains(&label) {
+                    seen.push(label);
+                    size as u64
+                } else if label == u32::MAX {
+                    1 // isolated vertex counts itself
+                } else {
+                    0
+                }
+            };
+            score += push(comps.label[w.index()], size_of(&comps, w), &mut seen);
+            for &v in g.neighbors(w) {
+                score += push(comps.label[v.index()], size_of(&comps, v), &mut seen);
+            }
+            let better = match best {
+                None => true,
+                Some((bs, bv)) => score > bs || (score == bs && w < bv),
+            };
+            if better {
+                best = Some((score, w));
+            }
+        }
+        let Some((_, w)) = best else { break };
+        brokers.insert(w);
+        order.push(w);
+    }
+    BrokerSelection::new("greedy-repair", n, order)
+}
+
+fn size_of(comps: &netgraph::components::Components, v: NodeId) -> usize {
+    let l = comps.label[v.index()];
+    if l == u32::MAX {
+        1
+    } else {
+        comps.sizes[l as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxsg::max_subgraph_greedy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use topology::{InternetConfig, Scale};
+
+    fn setup() -> (netgraph::Graph, BrokerSelection) {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(88);
+        let g = net.graph().clone();
+        let sel = max_subgraph_greedy(&g, 70);
+        (g, sel)
+    }
+
+    #[test]
+    fn targeted_failures_degrade_monotonically() {
+        let (g, sel) = setup();
+        let trace = failure_trace(&g, &sel, FailureOrder::TargetedBySelectionRank, 10);
+        assert_eq!(trace.removed_fraction.len(), trace.connectivity.len());
+        for w in trace.connectivity.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "connectivity increased under failure");
+        }
+        // All brokers gone -> nothing dominated.
+        assert!(trace.connectivity.last().unwrap() < &1e-9);
+        assert!((trace.removed_fraction.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!(trace.total_degradation() > 0.5);
+    }
+
+    #[test]
+    fn targeted_hurts_more_than_random_early() {
+        let (g, sel) = setup();
+        let targeted = failure_trace(&g, &sel, FailureOrder::TargetedBySelectionRank, 10);
+        let random = failure_trace(&g, &sel, FailureOrder::Random { seed: 5 }, 10);
+        // After the first batch (10% of brokers), targeted removal of the
+        // founding hubs should hurt at least as much as random removal.
+        assert!(
+            targeted.connectivity[1] <= random.connectivity[1] + 0.05,
+            "targeted {} vs random {}",
+            targeted.connectivity[1],
+            random.connectivity[1]
+        );
+    }
+
+    #[test]
+    fn repair_recovers_connectivity() {
+        let (g, sel) = setup();
+        // Fail the top 10 brokers.
+        let mut survivors = sel.brokers().clone();
+        let mut failed = NodeSet::new(g.node_count());
+        for &v in sel.order().iter().take(10) {
+            survivors.remove(v);
+            failed.insert(v);
+        }
+        let broken = saturated_connectivity(&g, &survivors).fraction;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let repaired = greedy_repair(&g, &survivors, &failed, 10, &mut rng);
+        let fixed = saturated_connectivity(&g, repaired.brokers()).fraction;
+        assert!(
+            fixed > broken,
+            "repair should improve connectivity ({broken} -> {fixed})"
+        );
+        // Repair never reuses failed vertices.
+        for &v in repaired.order() {
+            assert!(!failed.contains(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_rejected() {
+        let (g, sel) = setup();
+        failure_trace(&g, &sel, FailureOrder::TargetedBySelectionRank, 0);
+    }
+}

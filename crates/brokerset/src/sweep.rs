@@ -1,0 +1,140 @@
+//! Incremental connectivity sweeps over a selection's prefixes.
+//!
+//! Fig. 2b and Fig. 3 need the saturated connectivity of *every* prefix
+//! `B_1 ⊂ B_2 ⊂ …` of a selection. Recomputing components per prefix
+//! costs `O(k(|V| + |E|))`; since adding a broker only *activates* edges
+//! (never removes them), one incremental union-find pass does the whole
+//! sweep in `O(|V| + |E| α(|V|))` plus `O(1)` per prefix — the
+//! `bench/ablation` suite quantifies the gap.
+
+use crate::problem::BrokerSelection;
+use netgraph::{Graph, UnionFind};
+use serde::{Deserialize, Serialize};
+
+/// Saturated connectivity after each prefix of a selection.
+///
+/// ```
+/// use brokerset::{connectivity_sweep, max_subgraph_greedy};
+/// use netgraph::{graph::from_edges, NodeId};
+///
+/// let g = from_edges(4, (0..3).map(|i| (NodeId(i), NodeId(i + 1))));
+/// let sel = max_subgraph_greedy(&g, 3);
+/// let sweep = connectivity_sweep(&g, &sel);
+/// assert!(sweep.at(sel.len()) >= sweep.at(1)); // monotone in the budget
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectivitySweep {
+    /// `fractions[i]` = saturated E2E connectivity of the first `i + 1`
+    /// brokers.
+    pub fractions: Vec<f64>,
+    /// `giants[i]` = size of the largest dominated component at that
+    /// prefix.
+    pub giants: Vec<usize>,
+}
+
+impl ConnectivitySweep {
+    /// Connectivity at broker budget `k` (1-based); 0.0 for `k == 0`,
+    /// saturates at the last prefix.
+    pub fn at(&self, k: usize) -> f64 {
+        if k == 0 || self.fractions.is_empty() {
+            0.0
+        } else {
+            self.fractions[(k - 1).min(self.fractions.len() - 1)]
+        }
+    }
+}
+
+/// Sweep the saturated connectivity over every prefix of `sel`.
+///
+/// The connected-pair count is maintained incrementally: merging two
+/// components of sizes `a` and `b` adds `2ab` ordered pairs.
+pub fn connectivity_sweep(g: &Graph, sel: &BrokerSelection) -> ConnectivitySweep {
+    let n = g.node_count();
+    let total_pairs = (n as u64) * (n as u64).saturating_sub(1);
+    let mut uf = UnionFind::new(n);
+    let mut connected_pairs = 0u64;
+    let mut fractions = Vec::with_capacity(sel.len());
+    let mut giants = Vec::with_capacity(sel.len());
+    for &b in sel.order() {
+        for &v in g.neighbors(b) {
+            let (rb, rv) = (uf.find(b.index()), uf.find(v.index()));
+            if rb != rv {
+                let (sa, sb) = (uf.component_size(rb), uf.component_size(rv));
+                connected_pairs += 2 * sa as u64 * sb as u64;
+                uf.union(rb, rv);
+            }
+        }
+        fractions.push(if total_pairs == 0 {
+            0.0
+        } else {
+            connected_pairs as f64 / total_pairs as f64
+        });
+        giants.push(uf.largest_component());
+    }
+    ConnectivitySweep { fractions, giants }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::saturated_connectivity;
+    use crate::greedy::greedy_mcb;
+    use crate::maxsg::max_subgraph_greedy;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sweep_matches_per_prefix_recomputation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = netgraph::barabasi_albert(150, 3, &mut rng);
+        let sel = greedy_mcb(&g, 15);
+        let sweep = connectivity_sweep(&g, &sel);
+        for k in 1..=sel.len() {
+            let direct = saturated_connectivity(&g, sel.truncated(k).brokers());
+            assert!(
+                (sweep.at(k) - direct.fraction).abs() < 1e-12,
+                "k={k}: sweep {} vs direct {}",
+                sweep.at(k),
+                direct.fraction
+            );
+            assert_eq!(sweep.giants[k - 1], direct.giant, "giant at k={k}");
+        }
+    }
+
+    #[test]
+    fn sweep_monotone() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = netgraph::erdos_renyi_gnm(100, 200, &mut rng);
+        let sel = max_subgraph_greedy(&g, 20);
+        let sweep = connectivity_sweep(&g, &sel);
+        for w in sweep.fractions.windows(2) {
+            assert!(w[1] >= w[0] - 1e-15);
+        }
+    }
+
+    #[test]
+    fn empty_selection_and_at_bounds() {
+        let g = netgraph::graph::from_edges(3, std::iter::empty());
+        let sel = BrokerSelection::new("none", 3, vec![]);
+        let sweep = connectivity_sweep(&g, &sel);
+        assert!(sweep.fractions.is_empty());
+        assert_eq!(sweep.at(0), 0.0);
+        assert_eq!(sweep.at(5), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn sweep_equivalence_random(seed in 0u64..50) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = netgraph::erdos_renyi_gnm(40, 70, &mut rng);
+            let sel = max_subgraph_greedy(&g, 8);
+            let sweep = connectivity_sweep(&g, &sel);
+            for k in [1usize, sel.len() / 2, sel.len()] {
+                if k == 0 { continue; }
+                let direct = saturated_connectivity(&g, sel.truncated(k).brokers());
+                prop_assert!((sweep.at(k) - direct.fraction).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Comparative statics of the Stackelberg equilibrium.
+//!
+//! Theorem 6 gives existence; operators want to know *which way things
+//! move*: if QoS willingness-to-pay rises, does the alliance raise
+//! prices or chase adoption? This module computes finite-difference
+//! elasticities of the equilibrium outcome with respect to the model
+//! parameters.
+
+use crate::stackelberg::{StackelbergEquilibrium, StackelbergGame};
+use serde::{Deserialize, Serialize};
+
+/// Which knob to perturb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Knob {
+    /// Every customer's `qos_revenue` scale.
+    QosRevenue,
+    /// Every customer's `transit_scale`.
+    TransitScale,
+    /// The leader's `unit_cost`.
+    UnitCost,
+    /// The leader's `hire_overhead`.
+    HireOverhead,
+}
+
+/// Elasticities of the equilibrium with respect to one knob:
+/// `d log(outcome) / d log(knob)` estimated by a symmetric ±`h` relative
+/// perturbation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Elasticity {
+    /// Knob perturbed.
+    pub knob: Knob,
+    /// Elasticity of the equilibrium price.
+    pub price: f64,
+    /// Elasticity of the aggregate adoption.
+    pub adoption: f64,
+    /// Elasticity of the leader's profit.
+    pub profit: f64,
+}
+
+fn perturbed(game: &StackelbergGame, knob: Knob, factor: f64) -> StackelbergGame {
+    let mut g = game.clone();
+    match knob {
+        Knob::QosRevenue => {
+            for c in &mut g.customers {
+                c.qos_revenue *= factor;
+            }
+        }
+        Knob::TransitScale => {
+            for c in &mut g.customers {
+                c.transit_scale *= factor;
+            }
+        }
+        Knob::UnitCost => g.unit_cost *= factor,
+        Knob::HireOverhead => g.hire_overhead *= factor,
+    }
+    g
+}
+
+fn log_ratio(hi: f64, lo: f64) -> f64 {
+    if hi <= 0.0 || lo <= 0.0 {
+        0.0
+    } else {
+        (hi / lo).ln()
+    }
+}
+
+/// Estimate the elasticity of the equilibrium with respect to `knob`
+/// using a symmetric relative step `h` (e.g. 0.05 = ±5 %).
+///
+/// # Errors
+///
+/// Propagates equilibrium-solving errors.
+///
+/// # Panics
+///
+/// Panics unless `0 < h < 1`.
+pub fn elasticity(game: &StackelbergGame, knob: Knob, h: f64) -> Result<Elasticity, String> {
+    assert!(h > 0.0 && h < 1.0, "step h must be in (0, 1), got {h}");
+    let up = perturbed(game, knob, 1.0 + h).equilibrium()?;
+    let down = perturbed(game, knob, 1.0 - h).equilibrium()?;
+    let dlog_knob = ((1.0 + h) / (1.0 - h)).ln();
+    let el = |f: &dyn Fn(&StackelbergEquilibrium) -> f64| {
+        log_ratio(f(&up), f(&down)) / dlog_knob
+    };
+    Ok(Elasticity {
+        knob,
+        price: el(&|e| e.price),
+        adoption: el(&|e| e.total_adoption),
+        profit: el(&|e| e.leader_utility),
+    })
+}
+
+/// All four knob elasticities at once.
+///
+/// # Errors
+///
+/// Propagates equilibrium-solving errors.
+pub fn sensitivity_profile(game: &StackelbergGame, h: f64) -> Result<Vec<Elasticity>, String> {
+    [
+        Knob::QosRevenue,
+        Knob::TransitScale,
+        Knob::UnitCost,
+        Knob::HireOverhead,
+    ]
+    .into_iter()
+    .map(|k| elasticity(game, k, h))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stackelberg::CustomerAs;
+
+    fn game() -> StackelbergGame {
+        StackelbergGame {
+            customers: vec![
+                CustomerAs {
+                    qos_revenue: 5.0,
+                    qos_saturation: 2.0,
+                    transit_scale: 1.2,
+                    transit_peak: 0.6,
+                    adoption_floor: 0.05,
+                };
+                30
+            ],
+            unit_cost: 0.5,
+            hire_overhead: 0.3,
+            max_price: 60.0,
+        }
+    }
+
+    #[test]
+    fn qos_value_raises_profit_and_price() {
+        let e = elasticity(&game(), Knob::QosRevenue, 0.05).unwrap();
+        assert!(e.profit > 0.0, "profit elasticity {e:?}");
+        assert!(e.price > 0.0, "price elasticity {e:?}");
+    }
+
+    #[test]
+    fn cost_lowers_profit() {
+        let e = elasticity(&game(), Knob::UnitCost, 0.05).unwrap();
+        assert!(e.profit < 0.0, "{e:?}");
+        let e2 = elasticity(&game(), Knob::HireOverhead, 0.05).unwrap();
+        assert!(e2.profit <= 0.0 + 1e-9, "{e2:?}");
+    }
+
+    #[test]
+    fn profile_covers_all_knobs() {
+        let p = sensitivity_profile(&game(), 0.05).unwrap();
+        assert_eq!(p.len(), 4);
+        let knobs: Vec<Knob> = p.iter().map(|e| e.knob).collect();
+        assert!(knobs.contains(&Knob::QosRevenue));
+        assert!(knobs.contains(&Knob::TransitScale));
+        assert!(knobs.contains(&Knob::UnitCost));
+        assert!(knobs.contains(&Knob::HireOverhead));
+    }
+
+    #[test]
+    #[should_panic(expected = "step h")]
+    fn bad_step_rejected() {
+        let _ = elasticity(&game(), Knob::UnitCost, 1.5);
+    }
+}

@@ -1,0 +1,137 @@
+//! Tiny 1-D optimization toolbox used by the game solvers.
+//!
+//! Everything in Section 7 reduces to maximizing continuous
+//! (quasi-)concave functions over compact intervals, so golden-section
+//! search and bisection on monotone derivatives are all we need.
+
+/// Golden-section maximization of a unimodal `f` on `[lo, hi]`.
+///
+/// Returns `(argmax, max)` within `tol` of the true optimizer.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `tol <= 0`.
+pub fn golden_max(mut lo: f64, mut hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> (f64, f64) {
+    assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    while hi - lo > tol {
+        if f1 < f2 {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        } else {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    (x, f(x))
+}
+
+/// Find the root of a *decreasing* function `g` on `[lo, hi]` by
+/// bisection; clamps to the boundary when `g` has constant sign (the
+/// argmax of a concave objective whose derivative is `g` then sits at
+/// that boundary).
+pub fn bisect_decreasing(mut lo: f64, mut hi: f64, tol: f64, g: impl Fn(f64) -> f64) -> f64 {
+    assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+    if g(lo) <= 0.0 {
+        return lo;
+    }
+    if g(hi) >= 0.0 {
+        return hi;
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Maximum of a grid scan followed by a golden-section refinement —
+/// robust for continuous objectives that may have small local plateaus
+/// (e.g. the leader's profit in the Stackelberg game).
+pub fn grid_then_golden(
+    lo: f64,
+    hi: f64,
+    grid: usize,
+    tol: f64,
+    f: impl Fn(f64) -> f64,
+) -> (f64, f64) {
+    assert!(grid >= 2, "need at least 2 grid points");
+    let mut best_i = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    for i in 0..=grid {
+        let x = lo + (hi - lo) * i as f64 / grid as f64;
+        let v = f(x);
+        if v > best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    let cell = (hi - lo) / grid as f64;
+    let wlo = (lo + cell * best_i.saturating_sub(1) as f64).max(lo);
+    let whi = (lo + cell * (best_i + 1) as f64).min(hi);
+    golden_max(wlo, whi, tol, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_parabola_peak() {
+        let (x, v) = golden_max(0.0, 10.0, 1e-9, |x| -(x - 3.7) * (x - 3.7) + 2.0);
+        assert!((x - 3.7).abs() < 1e-6);
+        assert!((v - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_boundary_max() {
+        let (x, _) = golden_max(0.0, 1.0, 1e-9, |x| x);
+        assert!((x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn golden_rejects_reversed_interval() {
+        golden_max(1.0, 0.0, 1e-9, |x| x);
+    }
+
+    #[test]
+    fn bisect_root() {
+        let x = bisect_decreasing(0.0, 10.0, 1e-10, |x| 5.0 - x);
+        assert!((x - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bisect_clamps_at_boundaries() {
+        assert_eq!(bisect_decreasing(2.0, 5.0, 1e-10, |x| -x), 2.0);
+        assert_eq!(bisect_decreasing(2.0, 5.0, 1e-10, |x| 100.0 - x), 5.0);
+    }
+
+    #[test]
+    fn grid_then_golden_handles_two_humps() {
+        // Global max at x=8 (height 3), local at x=2 (height 2).
+        let f = |x: f64| {
+            let a = 2.0 * (-(x - 2.0) * (x - 2.0)).exp();
+            let b = 3.0 * (-(x - 8.0) * (x - 8.0)).exp();
+            a + b
+        };
+        let (x, _) = grid_then_golden(0.0, 10.0, 50, 1e-9, f);
+        assert!((x - 8.0).abs() < 1e-3);
+    }
+}

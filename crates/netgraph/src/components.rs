@@ -1,0 +1,310 @@
+//! Connected components and a weighted-union union-find.
+//!
+//! The MaxSubGraph-Greedy heuristic (Algorithm 3 of the paper) needs to
+//! track "size of the maximum connected subgraph of the dominated set" as
+//! vertices are added one at a time — incremental connectivity is exactly
+//! what [`UnionFind`] provides. The saturated E2E connectivity metric is a
+//! straight function of component sizes.
+
+use crate::{Graph, NodeId, NodeSet};
+use serde::{Deserialize, Serialize};
+
+/// Union-find (disjoint set union) with path halving and union by size.
+///
+/// ```
+/// use netgraph::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.component_size(0), 2);
+/// uf.union(1, 3);
+/// assert_eq!(uf.largest_component(), 4);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+    largest: u32,
+}
+
+impl UnionFind {
+    /// `n` singleton components.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+            largest: if n == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s component. Path-halving, amortized ~O(α(n)).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x as usize
+    }
+
+    /// Merge the components of `a` and `b`; returns `true` if they were
+    /// previously separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.largest = self.largest.max(self.size[ra]);
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same component.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the component containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the largest component (1 for a fresh non-empty structure).
+    pub fn largest_component(&self) -> usize {
+        self.largest as usize
+    }
+}
+
+/// Result of a full connected-components decomposition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Components {
+    /// `label[v]` = component index of vertex `v`, in `0..count`.
+    pub label: Vec<u32>,
+    /// `sizes[c]` = number of vertices in component `c`; descending order
+    /// is *not* guaranteed — use [`Components::giant`] for the largest.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Index and size of the largest component.
+    ///
+    /// Returns `None` for an empty graph.
+    pub fn giant(&self) -> Option<(usize, usize)> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .map(|(i, &s)| (i, s))
+    }
+
+    /// Number of ordered pairs `(u, v)`, `u != v`, that lie in the same
+    /// component. This is the numerator of the paper's *saturated E2E
+    /// connectivity*.
+    pub fn connected_ordered_pairs(&self) -> u64 {
+        self.sizes.iter().map(|&s| (s as u64) * (s as u64 - 1)).sum()
+    }
+
+    /// Members of component `c`.
+    pub fn members(&self, c: usize) -> Vec<NodeId> {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l as usize == c)
+            .map(|(v, _)| NodeId::from(v))
+            .collect()
+    }
+}
+
+/// Decompose `g` into connected components (iterative DFS over CSR).
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        let mut size = 0usize;
+        label[s] = c;
+        stack.push(NodeId::from(s));
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = c;
+                    stack.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { label, sizes }
+}
+
+/// Components of the subgraph induced by `allowed` (vertices outside the
+/// set are treated as absent). Labels of excluded vertices are `u32::MAX`.
+pub fn components_within(g: &Graph, allowed: &NodeSet) -> Components {
+    let n = g.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut stack = Vec::new();
+    for s in allowed.iter() {
+        if label[s.index()] != u32::MAX {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        let mut size = 0usize;
+        label[s.index()] = c;
+        stack.push(s);
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if allowed.contains(v) && label[v.index()] == u32::MAX {
+                    label[v.index()] = c;
+                    stack.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { label, sizes }
+}
+
+/// The vertex set of the largest connected component of `g`.
+///
+/// Returns an empty set for an empty graph.
+pub fn giant_component(g: &Graph) -> NodeSet {
+    let comps = connected_components(g);
+    let mut out = NodeSet::new(g.node_count());
+    if let Some((giant, _)) = comps.giant() {
+        for v in g.nodes() {
+            if comps.label[v.index()] as usize == giant {
+                out.insert(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.component_size(2), 3);
+        assert_eq!(uf.largest_component(), 3);
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 4));
+    }
+
+    #[test]
+    fn union_find_empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.largest_component(), 0);
+        assert_eq!(uf.component_count(), 0);
+    }
+
+    #[test]
+    fn components_two_islands() {
+        let g = from_edges(
+            6,
+            [(0, 1), (1, 2), (3, 4)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        );
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3); // {0,1,2}, {3,4}, {5}
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert_eq!(c.giant().unwrap().1, 3);
+        // ordered pairs: 3*2 + 2*1 + 0 = 8
+        assert_eq!(c.connected_ordered_pairs(), 8);
+        assert_eq!(c.label[0], c.label[2]);
+        assert_ne!(c.label[0], c.label[3]);
+    }
+
+    #[test]
+    fn components_empty_graph() {
+        let g = from_edges(0, std::iter::empty());
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 0);
+        assert!(c.giant().is_none());
+        assert_eq!(c.connected_ordered_pairs(), 0);
+    }
+
+    #[test]
+    fn giant_component_extraction() {
+        let g = from_edges(
+            6,
+            [(0, 1), (1, 2), (3, 4)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        );
+        let giant = giant_component(&g);
+        assert_eq!(giant.to_vec(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn components_within_mask() {
+        // Path 0-1-2-3-4; removing 2 splits it.
+        let g = from_edges(
+            5,
+            (0..4).map(|i| (NodeId(i), NodeId(i + 1))),
+        );
+        let mut allowed = NodeSet::full(5);
+        allowed.remove(NodeId(2));
+        let c = components_within(&g, &allowed);
+        assert_eq!(c.count(), 2);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+        assert_eq!(c.label[2], u32::MAX);
+        assert_eq!(c.connected_ordered_pairs(), 4);
+    }
+
+    #[test]
+    fn members_listing() {
+        let g = from_edges(4, [(0, 1)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let c = connected_components(&g);
+        let comp_of_0 = c.label[0] as usize;
+        assert_eq!(c.members(comp_of_0), vec![NodeId(0), NodeId(1)]);
+    }
+}

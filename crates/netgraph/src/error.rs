@@ -1,0 +1,60 @@
+//! Error type shared by the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id referenced a vertex outside the graph.
+    NodeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The graph's vertex count.
+        node_count: usize,
+    },
+    /// Parameters of a generator or algorithm were inconsistent.
+    InvalidParameter(String),
+    /// The operation requires a connected graph but got a disconnected one.
+    Disconnected,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { index, node_count } => {
+                write!(f, "node index {index} out of range for graph with {node_count} nodes")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Disconnected => write!(f, "operation requires a connected graph"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange {
+            index: 9,
+            node_count: 5,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("5"));
+        assert!(GraphError::Disconnected.to_string().contains("connected"));
+        assert!(GraphError::InvalidParameter("k too big".into())
+            .to_string()
+            .contains("k too big"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,146 @@
+//! Export helpers: Graphviz DOT and plain edge lists.
+//!
+//! Fig. 1 and Fig. 4 of the paper are topology visualizations; these
+//! exporters let the bench harness dump graphs (optionally with a
+//! highlighted broker set) for external rendering.
+
+use crate::{Graph, NodeId, NodeSet};
+use std::fmt::Write as _;
+
+/// Render `g` as an undirected Graphviz DOT document.
+///
+/// Vertices in `highlight` (e.g. a broker set) are drawn filled. `labels`,
+/// when provided, must supply one label per vertex.
+///
+/// # Panics
+///
+/// Panics if `labels` is `Some` but its length differs from the vertex
+/// count.
+pub fn to_dot(g: &Graph, highlight: Option<&NodeSet>, labels: Option<&[String]>) -> String {
+    if let Some(labels) = labels {
+        assert_eq!(
+            labels.len(),
+            g.node_count(),
+            "labels length must equal node count"
+        );
+    }
+    let mut out = String::new();
+    out.push_str("graph topology {\n  node [shape=circle, fontsize=8];\n");
+    for v in g.nodes() {
+        let mut attrs = Vec::new();
+        if let Some(labels) = labels {
+            attrs.push(format!("label=\"{}\"", labels[v.index()].replace('"', "'")));
+        }
+        if highlight.is_some_and(|h| h.contains(v)) {
+            attrs.push("style=filled".to_string());
+            attrs.push("fillcolor=gold".to_string());
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {};", v.0);
+        } else {
+            let _ = writeln!(out, "  {} [{}];", v.0, attrs.join(", "));
+        }
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", u.0, v.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render `g` as a whitespace-separated edge list, one `u v` line per
+/// undirected edge with `u < v`.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{} {}", u.0, v.0);
+    }
+    out
+}
+
+/// Parse an edge list produced by [`to_edge_list`] (or any `u v` pairs).
+///
+/// The vertex count is `max id + 1` unless `min_nodes` is larger.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed line.
+pub fn from_edge_list(text: &str, min_nodes: usize) -> Result<Graph, String> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<usize, String> {
+            tok.ok_or_else(|| format!("line {}: missing field", lineno + 1))?
+                .parse::<usize>()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        max_id = max_id.max(u).max(v);
+        edges.push((NodeId::from(u), NodeId::from(v)));
+    }
+    let nodes = min_nodes.max(if edges.is_empty() { 0 } else { max_id + 1 });
+    Ok(crate::graph::from_edges(nodes, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    #[test]
+    fn dot_contains_edges_and_highlights() {
+        let g = from_edges(3, [(0, 1), (1, 2)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let mut hl = NodeSet::new(3);
+        hl.insert(NodeId(1));
+        let dot = to_dot(&g, Some(&hl), None);
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.contains("1 [style=filled, fillcolor=gold];"));
+        assert!(dot.starts_with("graph topology {"));
+    }
+
+    #[test]
+    fn dot_with_labels() {
+        let g = from_edges(2, [(NodeId(0), NodeId(1))]);
+        let labels = vec!["AS\"1\"".to_string(), "IXP".to_string()];
+        let dot = to_dot(&g, None, Some(&labels));
+        assert!(dot.contains("label=\"AS'1'\""));
+        assert!(dot.contains("label=\"IXP\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "labels length")]
+    fn dot_label_mismatch_panics() {
+        let g = from_edges(2, [(NodeId(0), NodeId(1))]);
+        to_dot(&g, None, Some(&["x".to_string()]));
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let text = to_edge_list(&g);
+        let g2 = from_edge_list(&text, 0).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_parse_errors_and_comments() {
+        assert!(from_edge_list("0 x", 0).is_err());
+        assert!(from_edge_list("0", 0).is_err());
+        let g = from_edge_list("# comment\n\n0 1\n", 5).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let g = from_edge_list("", 0).unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+}

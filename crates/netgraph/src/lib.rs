@@ -1,0 +1,85 @@
+//! # netgraph — compact graph substrate for network-scale algorithmics
+//!
+//! This crate provides the graph machinery the rest of the workspace is
+//! built on: a cache-friendly CSR ([`Graph`]) representation for undirected
+//! graphs with tens of thousands of vertices and hundreds of thousands of
+//! edges, plus the traversal, component, centrality and random-generation
+//! routines needed to reproduce the evaluation of *"On the Feasibility of
+//! Inter-Domain Routing via a Small Broker Set"* (Liu, Lui, Lin, Hui).
+//!
+//! Everything is implemented from scratch — no external graph crate — and
+//! all randomized routines take an explicit seedable RNG so experiments are
+//! reproducible bit-for-bit.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use netgraph::{GraphBuilder, NodeId};
+//!
+//! // A 4-cycle with a chord.
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(NodeId(0), NodeId(1));
+//! b.add_edge(NodeId(1), NodeId(2));
+//! b.add_edge(NodeId(2), NodeId(3));
+//! b.add_edge(NodeId(3), NodeId(0));
+//! b.add_edge(NodeId(0), NodeId(2));
+//! let g = b.build();
+//!
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.edge_count(), 5);
+//! assert_eq!(g.degree(NodeId(0)), 3);
+//!
+//! let dist = netgraph::bfs_distances(&g, NodeId(1));
+//! assert_eq!(dist[3], Some(2));
+//! ```
+//!
+//! ## Modules
+//!
+//! - [`graph`] — the CSR graph and its builder.
+//! - [`nodeset`] — dense bitset over node ids, the working currency of the
+//!   coverage algorithms.
+//! - [`traverse`] — BFS in all the flavours the paper needs (single source,
+//!   multi source, restricted to an induced subgraph).
+//! - [`mod@dijkstra`] — weighted shortest paths.
+//! - [`components`] — connected components and a union-find.
+//! - [`centrality`] — degree, PageRank, k-core decomposition.
+//! - [`gen`] — Erdős–Rényi, Watts–Strogatz, Barabási–Albert generators.
+//! - [`alphabeta`] — (α, β)-graph property estimation (Definition 2 of the
+//!   paper).
+//! - [`export`] — DOT / edge-list export for visualization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alphabeta;
+pub mod binio;
+pub mod centrality;
+pub mod components;
+pub mod dijkstra;
+pub mod error;
+pub mod export;
+pub mod gen;
+pub mod graph;
+pub mod metrics;
+pub mod nodeset;
+pub mod traverse;
+
+pub use alphabeta::{estimate_alpha, hop_histogram, AlphaBetaEstimate, HopHistogram};
+pub use binio::{graph_from_bytes, graph_to_bytes, CodecError};
+pub use centrality::{coreness, degree_sequence, pagerank, top_by_score, PageRankConfig};
+pub use components::{connected_components, giant_component, Components, UnionFind};
+pub use dijkstra::{dijkstra, WeightedGraph};
+pub use error::GraphError;
+pub use export::{to_dot, to_edge_list};
+pub use gen::{barabasi_albert, erdos_renyi_gnm, erdos_renyi_gnp, watts_strogatz};
+pub use graph::{undirected_key, Graph, GraphBuilder, NodeId};
+pub use metrics::{
+    betweenness, closeness, clustering_coefficients, degree_assortativity, degree_stats,
+    diameter_lower_bound, mean_clustering, DegreeStats,
+};
+pub use nodeset::NodeSet;
+pub use traverse::{
+    bfs_distances, bfs_distances_bounded, bfs_parents, multi_source_bfs, restricted_bfs_distances,
+    shortest_path, Bfs,
+};

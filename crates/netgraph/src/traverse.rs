@@ -1,0 +1,398 @@
+//! Breadth-first traversal in the flavours the paper's evaluation needs.
+//!
+//! - [`bfs_distances`] — plain single-source hop distances.
+//! - [`bfs_distances_bounded`] — stop past a hop budget (used by the
+//!   (α, β) estimator).
+//! - [`multi_source_bfs`] — distances to the nearest of a set of sources.
+//! - [`restricted_bfs_distances`] — BFS that never leaves an induced
+//!   subgraph; this realizes the paper's `B_A · A` masked-adjacency
+//!   operator (Section 5.2) without materializing matrix powers: a path
+//!   confined to `B ∪ N(B)` is exactly a B-dominated path.
+//! - [`bfs_parents`] / [`shortest_path`] — parent trees and path
+//!   extraction for Algorithm 2's broker stitching.
+
+use crate::{Graph, NodeId, NodeSet};
+use std::collections::VecDeque;
+
+/// Reusable BFS scratch space.
+///
+/// Repeated traversals (the connectivity evaluator runs thousands) reuse
+/// the queue and distance buffers instead of reallocating per source.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    dist: Vec<u32>,
+    queue: VecDeque<NodeId>,
+    epoch: u32,
+    seen: Vec<u32>,
+}
+
+
+impl Bfs {
+    /// Scratch space for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Bfs {
+            dist: vec![0; n],
+            queue: VecDeque::new(),
+            epoch: 0,
+            seen: vec![0; n],
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: reset the lazily-invalidated `seen` marks.
+            self.seen.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn mark(&mut self, v: NodeId, d: u32) -> bool {
+        if self.seen[v.index()] == self.epoch {
+            false
+        } else {
+            self.seen[v.index()] = self.epoch;
+            self.dist[v.index()] = d;
+            true
+        }
+    }
+
+    /// Distance of `v` from the last traversal's source(s), if reached.
+    ///
+    /// Returns `None` for every vertex until the first traversal runs
+    /// (epoch 0 is reserved for "never ran").
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        (self.epoch != 0 && self.seen[v.index()] == self.epoch).then(|| self.dist[v.index()])
+    }
+
+    /// Run BFS from `src`; afterwards query with [`Bfs::distance`].
+    /// Returns the number of reached vertices (including `src`).
+    pub fn run(&mut self, g: &Graph, src: NodeId) -> usize {
+        self.run_bounded(g, src, u32::MAX)
+    }
+
+    /// BFS from `src`, not expanding past `max_depth` hops.
+    /// Returns the number of reached vertices (including `src`).
+    pub fn run_bounded(&mut self, g: &Graph, src: NodeId, max_depth: u32) -> usize {
+        self.begin();
+        self.mark(src, 0);
+        self.queue.push_back(src);
+        let mut reached = 1usize;
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            if du >= max_depth {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if self.mark(v, du + 1) {
+                    reached += 1;
+                    self.queue.push_back(v);
+                }
+            }
+        }
+        reached
+    }
+
+    /// BFS from `src` that only visits vertices in `allowed`.
+    ///
+    /// `src` itself must be in `allowed`; otherwise nothing is reached and
+    /// `0` is returned. Returns the number of reached vertices.
+    pub fn run_restricted(
+        &mut self,
+        g: &Graph,
+        src: NodeId,
+        allowed: &NodeSet,
+        max_depth: u32,
+    ) -> usize {
+        self.begin();
+        if !allowed.contains(src) {
+            return 0;
+        }
+        self.mark(src, 0);
+        self.queue.push_back(src);
+        let mut reached = 1usize;
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            if du >= max_depth {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if allowed.contains(v) && self.mark(v, du + 1) {
+                    reached += 1;
+                    self.queue.push_back(v);
+                }
+            }
+        }
+        reached
+    }
+
+    /// Multi-source BFS; distances are to the nearest source.
+    /// Returns the number of reached vertices.
+    pub fn run_multi<I: IntoIterator<Item = NodeId>>(&mut self, g: &Graph, sources: I) -> usize {
+        self.begin();
+        let mut reached = 0usize;
+        for s in sources {
+            if self.mark(s, 0) {
+                reached += 1;
+                self.queue.push_back(s);
+            }
+        }
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            for &v in g.neighbors(u) {
+                if self.mark(v, du + 1) {
+                    reached += 1;
+                    self.queue.push_back(v);
+                }
+            }
+        }
+        reached
+    }
+
+    /// Histogram of distances from the last run: `hist[d]` = number of
+    /// vertices at distance exactly `d` (capped at `max_len` buckets).
+    pub fn distance_histogram(&self, max_len: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; max_len];
+        if self.epoch == 0 {
+            return hist; // no traversal has run yet
+        }
+        for v in 0..self.dist.len() {
+            if self.seen[v] == self.epoch {
+                let d = self.dist[v] as usize;
+                if d < max_len {
+                    hist[d] += 1;
+                }
+            }
+        }
+        hist
+    }
+}
+
+/// Single-source hop distances; `None` for unreachable vertices.
+///
+/// ```
+/// use netgraph::{graph::from_edges, NodeId, bfs_distances};
+/// let g = from_edges(4, [(0, 1), (1, 2)].map(|(a, b)| (NodeId(a), NodeId(b))));
+/// let d = bfs_distances(&g, NodeId(0));
+/// assert_eq!(d, vec![Some(0), Some(1), Some(2), None]);
+/// ```
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
+    let mut bfs = Bfs::new(g.node_count());
+    bfs.run(g, src);
+    g.nodes().map(|v| bfs.distance(v)).collect()
+}
+
+/// Like [`bfs_distances`] but not expanding past `max_depth` hops.
+pub fn bfs_distances_bounded(g: &Graph, src: NodeId, max_depth: u32) -> Vec<Option<u32>> {
+    let mut bfs = Bfs::new(g.node_count());
+    bfs.run_bounded(g, src, max_depth);
+    g.nodes().map(|v| bfs.distance(v)).collect()
+}
+
+/// Hop distance to the nearest of `sources`; `None` if unreachable.
+pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<Option<u32>> {
+    let mut bfs = Bfs::new(g.node_count());
+    bfs.run_multi(g, sources.iter().copied());
+    g.nodes().map(|v| bfs.distance(v)).collect()
+}
+
+/// Hop distances from `src` along paths confined to `allowed`.
+///
+/// This is the building block of the l-hop E2E connectivity evaluation:
+/// with `allowed = B ∪ N(B)` every path found is a B-dominated path.
+pub fn restricted_bfs_distances(g: &Graph, src: NodeId, allowed: &NodeSet) -> Vec<Option<u32>> {
+    let mut bfs = Bfs::new(g.node_count());
+    bfs.run_restricted(g, src, allowed, u32::MAX);
+    g.nodes().map(|v| bfs.distance(v)).collect()
+}
+
+/// BFS parent tree from `src`: `parent[v]` is the predecessor of `v` on
+/// one shortest path from `src`; `parent[src] = Some(src)`; `None` means
+/// unreachable.
+pub fn bfs_parents(g: &Graph, src: NodeId) -> Vec<Option<NodeId>> {
+    let n = g.node_count();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    parent[src.index()] = Some(src);
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if parent[v.index()].is_none() {
+                parent[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// One shortest path from `src` to `dst` (inclusive of both endpoints), or
+/// `None` if `dst` is unreachable.
+///
+/// ```
+/// use netgraph::{graph::from_edges, NodeId, shortest_path};
+/// let g = from_edges(4, [(0, 1), (1, 2), (2, 3)].map(|(a, b)| (NodeId(a), NodeId(b))));
+/// let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+/// assert_eq!(p, [0, 1, 2, 3].map(NodeId).to_vec());
+/// ```
+pub fn shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    let parent = bfs_parents(g, src);
+    path_from_parents(&parent, src, dst)
+}
+
+/// Extract the `src -> dst` path out of a parent tree produced by
+/// [`bfs_parents`] (or any compatible tree).
+pub fn path_from_parents(
+    parent: &[Option<NodeId>],
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Vec<NodeId>> {
+    parent[dst.index()]?;
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        let p = parent[cur.index()].expect("parent chain broken");
+        debug_assert_ne!(p, cur, "non-source vertex is its own parent");
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    fn path_graph(n: u32) -> Graph {
+        from_edges(
+            n as usize,
+            (0..n - 1).map(|i| (NodeId(i), NodeId(i + 1))),
+        )
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, (0..5).map(Some).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = from_edges(3, [(NodeId(0), NodeId(1))]);
+        let d = bfs_distances(&g, NodeId(2));
+        assert_eq!(d, vec![None, None, Some(0)]);
+    }
+
+    #[test]
+    fn bounded_bfs_stops() {
+        let g = path_graph(10);
+        let d = bfs_distances_bounded(&g, NodeId(0), 3);
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = path_graph(7);
+        let d = multi_source_bfs(&g, &[NodeId(0), NodeId(6)]);
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[5], Some(1));
+        assert_eq!(d[0], Some(0));
+    }
+
+    #[test]
+    fn multi_source_empty_sources() {
+        let g = path_graph(3);
+        let d = multi_source_bfs(&g, &[]);
+        assert!(d.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn restricted_bfs_respects_mask() {
+        // 0-1-2-3-4 plus shortcut 0-4; mask forbids the shortcut's far end
+        // middle: allowed = {0, 1, 2, 3, 4} minus {2}.
+        let mut edges: Vec<(NodeId, NodeId)> =
+            (0..4).map(|i| (NodeId(i), NodeId(i + 1))).collect();
+        edges.push((NodeId(0), NodeId(4)));
+        let g = from_edges(5, edges);
+        let mut allowed = NodeSet::full(5);
+        allowed.remove(NodeId(2));
+        let d = restricted_bfs_distances(&g, NodeId(0), &allowed);
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], None); // masked out
+        assert_eq!(d[4], Some(1)); // via shortcut
+        assert_eq!(d[3], Some(2)); // 0-4-3
+    }
+
+    #[test]
+    fn restricted_bfs_source_not_allowed() {
+        let g = path_graph(3);
+        let allowed = NodeSet::new(3);
+        let mut bfs = Bfs::new(3);
+        assert_eq!(bfs.run_restricted(&g, NodeId(0), &allowed, u32::MAX), 0);
+        assert_eq!(bfs.distance(NodeId(0)), None);
+    }
+
+    #[test]
+    fn parents_and_path_extraction() {
+        let g = path_graph(4);
+        let p = bfs_parents(&g, NodeId(0));
+        assert_eq!(p[0], Some(NodeId(0)));
+        assert_eq!(p[3], Some(NodeId(2)));
+        let path = path_from_parents(&p, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(path.len(), 4);
+        assert_eq!(shortest_path(&g, NodeId(0), NodeId(0)).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn shortest_path_unreachable() {
+        let g = from_edges(4, [(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]);
+        assert!(shortest_path(&g, NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn fresh_bfs_reports_nothing() {
+        let g = path_graph(3);
+        let bfs = Bfs::new(3);
+        for v in 0..3 {
+            assert_eq!(bfs.distance(NodeId(v)), None, "unran Bfs leaked a distance");
+        }
+        assert_eq!(bfs.distance_histogram(4), vec![0, 0, 0, 0]);
+        let _ = g;
+    }
+
+    #[test]
+    fn bfs_scratch_reuse_across_sources() {
+        let g = path_graph(6);
+        let mut bfs = Bfs::new(6);
+        bfs.run(&g, NodeId(0));
+        assert_eq!(bfs.distance(NodeId(5)), Some(5));
+        bfs.run(&g, NodeId(5));
+        assert_eq!(bfs.distance(NodeId(5)), Some(0));
+        assert_eq!(bfs.distance(NodeId(0)), Some(5));
+    }
+
+    #[test]
+    fn distance_histogram_counts() {
+        let g = path_graph(5);
+        let mut bfs = Bfs::new(5);
+        bfs.run(&g, NodeId(0));
+        let h = bfs.distance_histogram(6);
+        assert_eq!(h, vec![1, 1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn reached_counts() {
+        let g = from_edges(5, [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+        let mut bfs = Bfs::new(5);
+        assert_eq!(bfs.run(&g, NodeId(0)), 3);
+        assert_eq!(bfs.run_bounded(&g, NodeId(0), 1), 2);
+        assert_eq!(bfs.run_multi(&g, [NodeId(3), NodeId(4)]), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Path-length inflation of broker-constrained routing (Table 4).
+//!
+//! Restricting paths to B-dominating ones can only lengthen them. Table 4
+//! of the paper shows the 3,540-alliance causes *minimal* inflation: its
+//! l-hop connectivity curve nearly overlaps the free-path curve. This
+//! module computes both curves and their per-l gap.
+
+use brokerset::connectivity::{lhop_curve, LhopCurve};
+use brokerset::SourceMode;
+use netgraph::{Graph, NodeSet};
+use serde::{Deserialize, Serialize};
+
+/// Free-path vs broker-constrained l-hop connectivity comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InflationReport {
+    /// Free-path curve (`B = V`).
+    pub free: LhopCurve,
+    /// Broker-dominated curve.
+    pub dominated: LhopCurve,
+    /// `free - dominated` per l (non-negative up to sampling noise).
+    pub gap: Vec<f64>,
+    /// Largest gap over all l.
+    pub max_gap: f64,
+}
+
+/// Compare the l-hop connectivity with and without the broker constraint
+/// for `l = 1 ..= max_l`.
+pub fn inflation_report(
+    g: &Graph,
+    brokers: &NodeSet,
+    max_l: usize,
+    mode: SourceMode,
+) -> InflationReport {
+    let free = lhop_curve(g, &NodeSet::full(g.node_count()), max_l, mode);
+    let dominated = lhop_curve(g, brokers, max_l, mode);
+    let gap: Vec<f64> = free
+        .fractions
+        .iter()
+        .zip(&dominated.fractions)
+        .map(|(f, d)| f - d)
+        .collect();
+    let max_gap = gap.iter().copied().fold(0.0f64, f64::max);
+    InflationReport {
+        free,
+        dominated,
+        gap,
+        max_gap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brokerset::{degree_based, max_subgraph_greedy};
+    use topology::{InternetConfig, Scale};
+
+    #[test]
+    fn dominating_set_has_small_inflation() {
+        // A MaxSG set sized to dominate (nearly) everything should show a
+        // curve close to free-path routing.
+        let net = InternetConfig::scaled(Scale::Tiny).generate(41);
+        let g = net.graph();
+        let sel = max_subgraph_greedy(g, 120);
+        let mode = SourceMode::Sampled { count: 150, seed: 2 };
+        let rep = inflation_report(g, sel.brokers(), 8, mode);
+        assert!(
+            rep.max_gap < 0.15,
+            "max inflation gap {} too large for a dominating alliance",
+            rep.max_gap
+        );
+        // Gap is non-negative (up to sampling noise on identical sources).
+        for &gder in &rep.gap {
+            assert!(gder > -1e-9);
+        }
+    }
+
+    #[test]
+    fn small_degree_based_set_inflates_more() {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(41);
+        let g = net.graph();
+        let small = degree_based(g, 8);
+        let big = max_subgraph_greedy(g, 120);
+        let mode = SourceMode::Sampled { count: 150, seed: 2 };
+        let rep_small = inflation_report(g, small.brokers(), 8, mode);
+        let rep_big = inflation_report(g, big.brokers(), 8, mode);
+        assert!(
+            rep_small.max_gap > rep_big.max_gap,
+            "small set gap {} should exceed big set gap {}",
+            rep_small.max_gap,
+            rep_big.max_gap
+        );
+    }
+
+    #[test]
+    fn same_sources_make_curves_comparable() {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(43);
+        let g = net.graph();
+        let sel = max_subgraph_greedy(g, 100);
+        let mode = SourceMode::Sampled { count: 100, seed: 5 };
+        let rep = inflation_report(g, sel.brokers(), 6, mode);
+        // The dominated curve can never exceed the free curve when both
+        // use the same source sample (identical seed).
+        for (f, d) in rep.free.fractions.iter().zip(&rep.dominated.fractions) {
+            assert!(d <= f);
+        }
+    }
+}

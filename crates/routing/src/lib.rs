@@ -1,0 +1,47 @@
+//! # routing — policy-aware routing substrate
+//!
+//! The broker-set results of Section 6 assume bidirectional reachability;
+//! Section 6.2 then asks what happens when traffic must obey real
+//! business relationships (Gao–Rexford valley-free export rules), and how
+//! much of the resulting degradation is repaired by converting a fraction
+//! of inter-broker links to settlement-free peering (Fig. 5b/c). This
+//! crate provides:
+//!
+//! - [`PolicyGraph`] — a directed, relationship-classified view of an
+//!   [`topology::Internet`], with mutation helpers for the peering-
+//!   conversion experiments;
+//! - [`valleyfree`] — valley-free reachability (two-phase BFS);
+//! - [`directional`] — E2E connectivity under valley-free + B-dominating
+//!   constraints (Fig. 5b/c) and under free routing;
+//! - [`inflation`] — path-length inflation of broker-constrained routing
+//!   versus free-path routing (Table 4);
+//! - [`stitch`] — broker-mediated path construction: the actual
+//!   dominating path a brokerage deployment would install, plus a
+//!   synthetic per-edge latency model ([`qos`]) to compare broker paths
+//!   against BGP-style valley-free defaults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bgp;
+pub mod capacity;
+pub mod directional;
+pub mod failover;
+pub mod inflation;
+pub mod monitor;
+pub mod policy;
+pub mod qos;
+pub mod stitch;
+pub mod valleyfree;
+
+pub use bgp::{bgp_paths_dominated, bgp_routes, Route, RouteClass, RouteTable};
+pub use capacity::{admit_demands, AdmissionReport, CapacityModel, Demand};
+pub use failover::{failover_plan, protection_ratio, FailoverPlan};
+pub use monitor::{supervise, MonitorConfig, MonitorReport, Session, SessionReport};
+pub use directional::{directional_connectivity, DirectionalReport};
+pub use inflation::{inflation_report, InflationReport};
+pub use policy::{EdgeClass, PolicyGraph};
+pub use qos::{LatencyModel, PathQos};
+pub use stitch::{stitch_path, stitch_path_weighted, StitchedPath};
+pub use valleyfree::{valley_free_path, valley_free_reach, Phase};

@@ -1,0 +1,382 @@
+//! SLA supervision simulation.
+//!
+//! The paper's brokers take "responsibilities of network performance
+//! measurement, control, resource negotiation" (Section 1). This module
+//! simulates that control loop over discrete epochs:
+//!
+//! 1. each epoch, every edge's latency jitters around the
+//!    [`crate::LatencyModel`] baseline; occasionally an edge *degrades*
+//!    (multiplies its latency) for a few epochs;
+//! 2. sessions (src, dst, latency SLA) ride their installed dominating
+//!    path; the supervising alliance observes end-to-end latency every
+//!    epoch (it dominates every hop, so it *can* observe);
+//! 3. on an SLA breach the alliance reroutes onto the best currently
+//!    available dominating path (the failover backup, re-stitched);
+//! 4. the run reports per-session violation and repair statistics.
+//!
+//! Unsupervised traffic (the BGP baseline) rides a fixed valley-free
+//! path and cannot reroute — the comparison quantifies the value of
+//! supervision.
+
+use crate::failover::dominated_path_avoiding;
+use crate::qos::LatencyModel;
+use crate::stitch::stitch_path;
+use netgraph::{Graph, NodeId, NodeSet};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A supervised (or baseline) traffic session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// Source AS.
+    pub src: NodeId,
+    /// Destination AS.
+    pub dst: NodeId,
+    /// Latency SLA in ms.
+    pub sla_ms: f64,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Number of epochs to simulate.
+    pub epochs: usize,
+    /// Per-epoch probability that a given *path edge* degrades.
+    pub degrade_prob: f64,
+    /// Latency multiplier while degraded.
+    pub degrade_factor: f64,
+    /// How many epochs a degradation lasts.
+    pub degrade_epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            epochs: 100,
+            degrade_prob: 0.01,
+            degrade_factor: 6.0,
+            degrade_epochs: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-session outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Epochs in violation while supervised (after any reroute applied
+    /// the same epoch).
+    pub supervised_violations: usize,
+    /// Epochs in violation on the fixed baseline path.
+    pub baseline_violations: usize,
+    /// Number of reroutes the supervisor performed.
+    pub reroutes: usize,
+    /// Whether the session could be admitted at all (a dominating path
+    /// within SLA existed at epoch 0).
+    pub admitted: bool,
+}
+
+/// Aggregate outcome of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorReport {
+    /// Per-session outcomes (admitted sessions only appear with
+    /// `admitted = true`).
+    pub sessions: Vec<SessionReport>,
+    /// Epoch count simulated.
+    pub epochs: usize,
+}
+
+impl MonitorReport {
+    /// Mean violation rate (violations per epoch) under supervision.
+    pub fn supervised_violation_rate(&self) -> f64 {
+        self.rate(|s| s.supervised_violations)
+    }
+
+    /// Mean violation rate of the fixed baseline.
+    pub fn baseline_violation_rate(&self) -> f64 {
+        self.rate(|s| s.baseline_violations)
+    }
+
+    fn rate(&self, f: impl Fn(&SessionReport) -> usize) -> f64 {
+        let admitted: Vec<_> = self.sessions.iter().filter(|s| s.admitted).collect();
+        if admitted.is_empty() || self.epochs == 0 {
+            return 0.0;
+        }
+        admitted.iter().map(|s| f(s)).sum::<usize>() as f64
+            / (admitted.len() * self.epochs) as f64
+    }
+}
+
+/// Run the supervision loop.
+///
+/// # Panics
+///
+/// Panics if `cfg.epochs == 0` or probabilities are out of range.
+pub fn supervise(
+    g: &Graph,
+    brokers: &NodeSet,
+    latency: &LatencyModel,
+    sessions: &[Session],
+    cfg: &MonitorConfig,
+) -> MonitorReport {
+    assert!(cfg.epochs > 0, "need at least one epoch");
+    assert!(
+        (0.0..=1.0).contains(&cfg.degrade_prob),
+        "degrade_prob out of range"
+    );
+    assert!(
+        cfg.degrade_epochs > 0 || cfg.degrade_prob == 0.0,
+        "degrade_epochs must be positive when degradations can occur \
+         (a 0-epoch degradation would underflow the aging counter)"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    struct Live {
+        report: SessionReport,
+        supervised_path: Option<Vec<NodeId>>,
+        baseline_path: Option<Vec<NodeId>>,
+        sla: f64,
+        src: NodeId,
+        dst: NodeId,
+    }
+    let mut live: Vec<Live> = sessions
+        .iter()
+        .map(|s| {
+            let supervised = stitch_path(g, brokers, s.src, s.dst).map(|p| p.path);
+            let admitted = supervised
+                .as_ref()
+                .and_then(|p| latency.path_latency(p))
+                .is_some_and(|l| l <= s.sla_ms);
+            Live {
+                report: SessionReport {
+                    supervised_violations: 0,
+                    baseline_violations: 0,
+                    reroutes: 0,
+                    admitted,
+                },
+                baseline_path: supervised.clone(), // same initial route
+                supervised_path: supervised,
+                sla: s.sla_ms,
+                src: s.src,
+                dst: s.dst,
+            }
+        })
+        .collect();
+
+    // Degradations: map edge -> remaining epochs.
+    let mut degraded: std::collections::HashMap<(u32, u32), usize> =
+        std::collections::HashMap::new();
+
+    for _epoch in 0..cfg.epochs {
+        // Age existing degradations.
+        degraded.retain(|_, left| {
+            *left -= 1;
+            *left > 0
+        });
+        // New degradations strike edges on active paths.
+        let mut active_edges: HashSet<(u32, u32)> = HashSet::new();
+        for s in &live {
+            for p in [&s.supervised_path, &s.baseline_path].into_iter().flatten() {
+                for w in p.windows(2) {
+                    active_edges.insert(netgraph::undirected_key(w[0], w[1]));
+                }
+            }
+        }
+        // Sort for determinism: HashSet iteration order would leak into
+        // the RNG consumption pattern.
+        let mut active: Vec<(u32, u32)> = active_edges.into_iter().collect();
+        active.sort_unstable();
+        for e in active {
+            if !degraded.contains_key(&e) && rng.gen_range(0.0..1.0) < cfg.degrade_prob {
+                degraded.insert(e, cfg.degrade_epochs);
+            }
+        }
+
+        let eval = |path: &[NodeId]| -> Option<f64> {
+            let mut total = 0.0;
+            for w in path.windows(2) {
+                let base = latency.edge_latency(w[0], w[1])?;
+                let key = netgraph::undirected_key(w[0], w[1]);
+                total += if degraded.contains_key(&key) {
+                    base * cfg.degrade_factor
+                } else {
+                    base
+                };
+            }
+            Some(total)
+        };
+
+        for s in live.iter_mut() {
+            if !s.report.admitted {
+                continue;
+            }
+            // Baseline: fixed path, suffer whatever happens.
+            if let Some(p) = &s.baseline_path {
+                if eval(p).is_none_or(|l| l > s.sla) {
+                    s.report.baseline_violations += 1;
+                }
+            }
+            // Supervised: on breach, try rerouting around degraded edges.
+            let breached = s
+                .supervised_path
+                .as_ref()
+                .and_then(|p| eval(p))
+                .is_none_or(|l| l > s.sla);
+            if breached {
+                let forbidden: HashSet<(u32, u32)> = degraded.keys().copied().collect();
+                let reroute =
+                    dominated_path_avoiding(g, brokers, s.src, s.dst, &forbidden);
+                let fixed = match reroute {
+                    Some(alt) => {
+                        let ok = eval(&alt.path).is_some_and(|l| l <= s.sla);
+                        if ok {
+                            s.supervised_path = Some(alt.path);
+                            s.report.reroutes += 1;
+                        }
+                        ok
+                    }
+                    None => false,
+                };
+                if !fixed {
+                    s.report.supervised_violations += 1;
+                }
+            }
+        }
+    }
+
+    MonitorReport {
+        sessions: live.into_iter().map(|s| s.report).collect(),
+        epochs: cfg.epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brokerset::max_subgraph_greedy;
+    use topology::{InternetConfig, Scale};
+
+    fn setup() -> (topology::Internet, NodeSet, LatencyModel) {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+        let sel = max_subgraph_greedy(net.graph(), 75);
+        let latency = LatencyModel::sample(&net, 3);
+        (net.clone(), sel.brokers().clone(), latency)
+    }
+
+    fn sessions(net: &topology::Internet, n: usize, sla: f64) -> Vec<Session> {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let count = net.graph().node_count() as u32;
+        (0..n)
+            .map(|_| Session {
+                src: NodeId(rng.gen_range(0..count)),
+                dst: NodeId(rng.gen_range(0..count)),
+                sla_ms: sla,
+            })
+            .filter(|s| s.src != s.dst)
+            .collect()
+    }
+
+    #[test]
+    fn supervision_beats_fixed_baseline() {
+        let (net, brokers, latency) = setup();
+        let g = net.graph();
+        let ss = sessions(&net, 40, 120.0);
+        let cfg = MonitorConfig {
+            epochs: 80,
+            degrade_prob: 0.02,
+            ..Default::default()
+        };
+        let report = supervise(g, &brokers, &latency, &ss, &cfg);
+        let sup = report.supervised_violation_rate();
+        let base = report.baseline_violation_rate();
+        assert!(
+            sup <= base,
+            "supervision ({sup}) should not violate more than the baseline ({base})"
+        );
+        // Reroutes actually happened.
+        let reroutes: usize = report.sessions.iter().map(|s| s.reroutes).sum();
+        assert!(reroutes > 0, "no reroute in 80 epochs of degradations");
+    }
+
+    #[test]
+    fn no_degradation_no_violation() {
+        let (net, brokers, latency) = setup();
+        let ss = sessions(&net, 20, 500.0); // generous SLA
+        let cfg = MonitorConfig {
+            epochs: 20,
+            degrade_prob: 0.0,
+            ..Default::default()
+        };
+        let report = supervise(net.graph(), &brokers, &latency, &ss, &cfg);
+        assert_eq!(report.supervised_violation_rate(), 0.0);
+        assert_eq!(report.baseline_violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn impossible_sla_never_admitted() {
+        let (net, brokers, latency) = setup();
+        let ss = sessions(&net, 10, 0.001);
+        let report = supervise(
+            net.graph(),
+            &brokers,
+            &latency,
+            &ss,
+            &MonitorConfig::default(),
+        );
+        assert!(report.sessions.iter().all(|s| !s.admitted));
+        assert_eq!(report.supervised_violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (net, brokers, latency) = setup();
+        let ss = sessions(&net, 15, 150.0);
+        let cfg = MonitorConfig {
+            epochs: 30,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = supervise(net.graph(), &brokers, &latency, &ss, &cfg);
+        let b = supervise(net.graph(), &brokers, &latency, &ss, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade_epochs")]
+    fn zero_degrade_epochs_rejected() {
+        let (net, brokers, latency) = setup();
+        supervise(
+            net.graph(),
+            &brokers,
+            &latency,
+            &[],
+            &MonitorConfig {
+                degrade_epochs: 0,
+                degrade_prob: 0.5,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch")]
+    fn zero_epochs_rejected() {
+        let (net, brokers, latency) = setup();
+        supervise(
+            net.graph(),
+            &brokers,
+            &latency,
+            &[],
+            &MonitorConfig {
+                epochs: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

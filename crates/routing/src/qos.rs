@@ -1,0 +1,212 @@
+//! Synthetic per-edge QoS (latency) model.
+//!
+//! The paper abstracts away *how* QoS is guaranteed and argues the broker
+//! set's monitoring/negotiation power makes it possible; what the
+//! examples and benches need is a plausible latency surface to compare
+//! broker-stitched paths against BGP-style defaults. Core links (between
+//! high-tier networks and across exchange fabrics) are fast and stable;
+//! edge links are slower with heavier jitter, mirroring measured
+//! inter-domain latency structure.
+
+use netgraph::NodeId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use topology::{Internet, Tier};
+
+/// Deterministic per-edge latency model derived from a topology and seed.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Latency in ms for each canonical edge, aligned with
+    /// `Internet::relationships()` order.
+    latencies: Vec<f64>,
+    /// Edge key -> index in `latencies` (keys are `(min, max)` pairs).
+    index: std::collections::HashMap<(u32, u32), u32>,
+}
+
+impl LatencyModel {
+    /// Sample a latency model. For an edge between tiers `(ta, tb)` the
+    /// base latency is the mean of per-tier base latencies, plus
+    /// lognormal-ish jitter.
+    pub fn sample(net: &Internet, seed: u64) -> Self {
+        Self::sample_inner(net, None, seed)
+    }
+
+    /// Like [`LatencyModel::sample`], but geography-aware: an edge whose
+    /// endpoints sit in different [`topology::Region`]s pays a submarine
+    /// / long-haul penalty of 35 ms on top of its tier base.
+    pub fn sample_with_regions(net: &Internet, geo: &topology::GeoModel, seed: u64) -> Self {
+        Self::sample_inner(net, Some(geo), seed)
+    }
+
+    fn sample_inner(net: &Internet, geo: Option<&topology::GeoModel>, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut latencies = Vec::with_capacity(net.relationships().len());
+        let mut index = std::collections::HashMap::with_capacity(net.relationships().len());
+        for (i, &(a, b, _)) in net.relationships().iter().enumerate() {
+            let mut base = (tier_base(net.tier(a)) + tier_base(net.tier(b))) / 2.0;
+            if let Some(geo) = geo {
+                if geo.region(a) != geo.region(b) {
+                    base += 35.0;
+                }
+            }
+            // Mild multiplicative jitter: U[0.6, 1.8].
+            let jitter: f64 = rng.gen_range(0.6..1.8);
+            latencies.push(base * jitter);
+            index.insert(netgraph::undirected_key(a, b), i as u32);
+        }
+        LatencyModel { latencies, index }
+    }
+
+    /// Latency of edge `{u, v}` in ms, `None` if the edge doesn't exist.
+    pub fn edge_latency(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.index
+            .get(&netgraph::undirected_key(u, v))
+            .map(|&i| self.latencies[i as usize])
+    }
+
+    /// Total latency of a path, `None` if any hop is a non-edge.
+    pub fn path_latency(&self, path: &[NodeId]) -> Option<f64> {
+        if path.is_empty() {
+            return None;
+        }
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            total += self.edge_latency(w[0], w[1])?;
+        }
+        Some(total)
+    }
+}
+
+fn tier_base(t: Tier) -> f64 {
+    match t {
+        Tier::One => 4.0,   // backbone / exchange fabric
+        Tier::Two => 10.0,  // regional transit
+        Tier::Three => 18.0, // access tail
+    }
+}
+
+/// QoS summary of a concrete path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathQos {
+    /// Hop count (edges).
+    pub hops: usize,
+    /// End-to-end latency in ms.
+    pub latency_ms: f64,
+}
+
+/// Evaluate a path under a latency model.
+///
+/// Returns `None` when the path is empty or uses a non-edge.
+pub fn path_qos(model: &LatencyModel, path: &[NodeId]) -> Option<PathQos> {
+    let latency_ms = model.path_latency(path)?;
+    Some(PathQos {
+        hops: path.len() - 1,
+        latency_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{InternetConfig, Scale};
+
+    fn net() -> Internet {
+        InternetConfig::scaled(Scale::Tiny).generate(51)
+    }
+
+    #[test]
+    fn model_covers_every_edge() {
+        let net = net();
+        let model = LatencyModel::sample(&net, 1);
+        for &(a, b, _) in net.relationships() {
+            let l = model.edge_latency(a, b).unwrap();
+            assert!(l > 0.0 && l < 100.0);
+            assert_eq!(model.edge_latency(b, a), Some(l)); // symmetric
+        }
+    }
+
+    #[test]
+    fn missing_edge_is_none() {
+        let net = net();
+        let model = LatencyModel::sample(&net, 1);
+        // Self-loops never exist.
+        assert_eq!(model.edge_latency(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = net();
+        let a = LatencyModel::sample(&net, 7);
+        let b = LatencyModel::sample(&net, 7);
+        let (x, y, _) = net.relationships()[0];
+        assert_eq!(a.edge_latency(x, y), b.edge_latency(x, y));
+        let c = LatencyModel::sample(&net, 8);
+        // Different seed gives different jitter (overwhelmingly likely).
+        assert_ne!(a.edge_latency(x, y), c.edge_latency(x, y));
+    }
+
+    #[test]
+    fn path_latency_sums_hops() {
+        let net = net();
+        let model = LatencyModel::sample(&net, 3);
+        let (a, b, _) = net.relationships()[0];
+        let single = model.path_latency(&[a, b]).unwrap();
+        assert_eq!(model.edge_latency(a, b), Some(single));
+        let qos = path_qos(&model, &[a, b]).unwrap();
+        assert_eq!(qos.hops, 1);
+        assert!(path_qos(&model, &[]).is_none());
+        assert_eq!(model.path_latency(&[a]), Some(0.0));
+    }
+
+    #[test]
+    fn geo_model_penalizes_interregion_links() {
+        let net = net();
+        let geo = topology::GeoModel::assign(&net, 0.85, 3);
+        let flat = LatencyModel::sample(&net, 9);
+        let geoaware = LatencyModel::sample_with_regions(&net, &geo, 9);
+        let (mut cross_sum, mut cross_n) = (0.0, 0usize);
+        let (mut local_ratio_sum, mut local_n) = (0.0, 0usize);
+        for &(a, b, _) in net.relationships() {
+            let f = flat.edge_latency(a, b).unwrap();
+            let g = geoaware.edge_latency(a, b).unwrap();
+            if geo.region(a) != geo.region(b) {
+                cross_sum += g - f;
+                cross_n += 1;
+            } else {
+                local_ratio_sum += g / f;
+                local_n += 1;
+            }
+        }
+        assert!(cross_n > 0 && local_n > 0);
+        // Same-region edges identical (same jitter stream), cross-region
+        // strictly slower on average.
+        assert!((local_ratio_sum / local_n as f64 - 1.0).abs() < 1e-9);
+        assert!(cross_sum / cross_n as f64 > 15.0);
+    }
+
+    #[test]
+    fn core_links_faster_than_edge_links() {
+        let net = net();
+        let model = LatencyModel::sample(&net, 4);
+        // Average over tier1-tier1 edges vs stub edges.
+        let (mut core_sum, mut core_n, mut edge_sum, mut edge_n) = (0.0, 0, 0.0, 0);
+        for &(a, b, _) in net.relationships() {
+            let l = model.edge_latency(a, b).unwrap();
+            match (net.tier(a), net.tier(b)) {
+                (Tier::One, Tier::One) => {
+                    core_sum += l;
+                    core_n += 1;
+                }
+                (Tier::Three, Tier::Three) => {
+                    edge_sum += l;
+                    edge_n += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(core_n > 0 && edge_n > 0);
+        assert!(core_sum / core_n as f64 <= edge_sum / edge_n as f64);
+    }
+}

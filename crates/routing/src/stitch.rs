@@ -1,0 +1,310 @@
+//! Broker-mediated path stitching.
+//!
+//! Given a source, a destination and a broker set, produce the concrete
+//! B-dominating path a brokerage deployment would install: shortest in
+//! hops over the dominated edge set `{(u, v) : u ∈ B ∨ v ∈ B}`. The
+//! result carries enough metadata (which hops are brokers, the broker
+//! segments) for SLA accounting in the economics layer.
+
+use netgraph::{Graph, NodeId, NodeSet};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A concrete B-dominating path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StitchedPath {
+    /// Vertices from source to destination inclusive.
+    pub path: Vec<NodeId>,
+    /// Indices into `path` that are brokers.
+    pub broker_positions: Vec<usize>,
+}
+
+impl StitchedPath {
+    /// Number of hops (edges).
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// Number of intermediate vertices (excluding endpoints) that are
+    /// *not* brokers — the "employees" the broker set must hire in the
+    /// economic model of Section 7.
+    pub fn hired_employees(&self) -> usize {
+        if self.path.len() <= 2 {
+            return 0;
+        }
+        let brokers: std::collections::HashSet<usize> =
+            self.broker_positions.iter().copied().collect();
+        (1..self.path.len() - 1)
+            .filter(|i| !brokers.contains(i))
+            .count()
+    }
+
+    /// Whether every intermediate vertex is a broker ("carried out by the
+    /// alliance solely", Fig. 5a).
+    pub fn broker_only(&self) -> bool {
+        self.hired_employees() == 0
+    }
+}
+
+/// Compute the shortest B-dominating path from `src` to `dst`.
+///
+/// Returns `None` when no dominating path exists. The endpoints need not
+/// be brokers (they are customers of the brokerage).
+pub fn stitch_path(
+    g: &Graph,
+    brokers: &NodeSet,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<StitchedPath> {
+    let n = g.node_count();
+    if src == dst {
+        return Some(mk(brokers, vec![src]));
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    parent[src.index()] = Some(src);
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    'bfs: while let Some(u) = queue.pop_front() {
+        let u_broker = brokers.contains(u);
+        for &v in g.neighbors(u) {
+            if !u_broker && !brokers.contains(v) {
+                continue;
+            }
+            if parent[v.index()].is_none() {
+                parent[v.index()] = Some(u);
+                if v == dst {
+                    break 'bfs;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    let path = netgraph::traverse::path_from_parents(&parent, src, dst)?;
+    Some(mk(brokers, path))
+}
+
+/// Compute the *latency-optimal* B-dominating path from `src` to `dst`
+/// under a [`crate::LatencyModel`] — Dijkstra over the dominated edge
+/// set. This is what a QoS brokerage would actually install when the SLA
+/// is a latency bound rather than a hop budget.
+///
+/// Returns `None` when no dominating path exists.
+pub fn stitch_path_weighted(
+    g: &Graph,
+    brokers: &NodeSet,
+    latency: &crate::LatencyModel,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<StitchedPath> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    if src == dst {
+        return Some(mk(brokers, vec![src]));
+    }
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    // Min-heap entries ordered by (latency, node) with reversed compare.
+    struct Entry(f64, NodeId);
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.0 == other.0 && self.1 == other.1
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .0
+                .partial_cmp(&self.0)
+                .expect("latency must not be NaN")
+                .then_with(|| other.1.cmp(&self.1))
+        }
+    }
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    parent[src.index()] = Some(src);
+    heap.push(Entry(0.0, src));
+    while let Some(Entry(d, u)) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        let u_broker = brokers.contains(u);
+        for &v in g.neighbors(u) {
+            if !u_broker && !brokers.contains(v) {
+                continue;
+            }
+            let w = latency
+                .edge_latency(u, v)
+                .expect("graph edge must be priced");
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parent[v.index()] = Some(u);
+                heap.push(Entry(nd, v));
+            }
+        }
+    }
+    let path = netgraph::traverse::path_from_parents(&parent, src, dst)?;
+    Some(mk(brokers, path))
+}
+
+fn mk(brokers: &NodeSet, path: Vec<NodeId>) -> StitchedPath {
+    let broker_positions = path
+        .iter()
+        .enumerate()
+        .filter(|&(_, v)| brokers.contains(*v))
+        .map(|(i, _)| i)
+        .collect();
+    StitchedPath {
+        path,
+        broker_positions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brokerset::connectivity::is_dominating_path;
+    use netgraph::graph::from_edges;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn set(capacity: usize, ids: &[u32]) -> NodeSet {
+        NodeSet::from_iter_with_capacity(capacity, ids.iter().map(|&i| NodeId(i)))
+    }
+
+    #[test]
+    fn stitches_through_broker() {
+        // 0-1-2 with broker 1.
+        let g = from_edges(3, [(0, 1), (1, 2)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let b = set(3, &[1]);
+        let p = stitch_path(&g, &b, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(p.path, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.broker_positions, vec![1]);
+        assert!(p.broker_only());
+        assert_eq!(p.hired_employees(), 0);
+    }
+
+    #[test]
+    fn refuses_undominated_route() {
+        // 0-1-2-3, broker {1}: 3 unreachable.
+        let g = from_edges(4, (0..3).map(|i| (NodeId(i), NodeId(i + 1))));
+        let b = set(4, &[1]);
+        assert!(stitch_path(&g, &b, NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn prefers_shortest_dominating_path() {
+        // Short undominated route 0-4-3 vs longer dominated 0-1-2-3.
+        let g = from_edges(
+            5,
+            [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        );
+        let b = set(5, &[1, 2]);
+        let p = stitch_path(&g, &b, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.path, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn employee_count() {
+        // 0-1-2-3-4 with brokers {1, 3}: vertex 2 is a hired employee.
+        let g = from_edges(5, (0..4).map(|i| (NodeId(i), NodeId(i + 1))));
+        let b = set(5, &[1, 3]);
+        let p = stitch_path(&g, &b, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(p.hired_employees(), 1);
+        assert!(!p.broker_only());
+    }
+
+    #[test]
+    fn self_path() {
+        let g = from_edges(2, [(NodeId(0), NodeId(1))]);
+        let p = stitch_path(&g, &NodeSet::new(2), NodeId(0), NodeId(0)).unwrap();
+        assert_eq!(p.path, vec![NodeId(0)]);
+        assert_eq!(p.hops(), 0);
+        assert!(p.broker_only());
+    }
+
+    #[test]
+    fn weighted_stitch_minimizes_latency() {
+        use crate::LatencyModel;
+        use topology::{InternetConfig, Scale};
+        let net = InternetConfig::scaled(Scale::Tiny).generate(13);
+        let g = net.graph();
+        let latency = LatencyModel::sample(&net, 2);
+        let sel = brokerset::max_subgraph_greedy(g, 75);
+        let brokers = sel.brokers();
+        let mut improved = 0usize;
+        let mut compared = 0usize;
+        for (u, v) in [(0u32, 500u32), (3, 900), (17, 701), (42, 1000), (8, 650)] {
+            let (u, v) = (NodeId(u), NodeId(v));
+            let hops = stitch_path(g, brokers, u, v);
+            let fast = stitch_path_weighted(g, brokers, &latency, u, v);
+            match (hops, fast) {
+                (Some(h), Some(f)) => {
+                    compared += 1;
+                    let lh = latency.path_latency(&h.path).unwrap();
+                    let lf = latency.path_latency(&f.path).unwrap();
+                    assert!(
+                        lf <= lh + 1e-9,
+                        "weighted stitch slower: {lf} vs hop-based {lh}"
+                    );
+                    if lf < lh - 1e-9 {
+                        improved += 1;
+                    }
+                    assert!(brokerset::connectivity::is_dominating_path(
+                        g, brokers, &f.path
+                    ));
+                }
+                (a, b) => assert_eq!(a.is_some(), b.is_some(), "reachability must agree"),
+            }
+        }
+        assert!(compared >= 3);
+        let _ = improved; // usually > 0, but not guaranteed per seed
+    }
+
+    #[test]
+    fn weighted_stitch_self_and_unreachable() {
+        use crate::LatencyModel;
+        use topology::{InternetConfig, Scale};
+        let net = InternetConfig::scaled(Scale::Tiny).generate(13);
+        let g = net.graph();
+        let latency = LatencyModel::sample(&net, 2);
+        let none = NodeSet::new(g.node_count());
+        assert!(stitch_path_weighted(g, &none, &latency, NodeId(0), NodeId(1)).is_none());
+        let p = stitch_path_weighted(g, &none, &latency, NodeId(5), NodeId(5)).unwrap();
+        assert_eq!(p.path, vec![NodeId(5)]);
+    }
+
+    proptest! {
+        /// Any stitched path is a genuine B-dominating path, and its
+        /// length matches the dominated-BFS distance.
+        #[test]
+        fn stitched_paths_are_dominating(seed in 0u64..80) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = netgraph::barabasi_albert(60, 2, &mut rng);
+            let sel = brokerset::greedy_mcb(&g, 6);
+            let b = sel.brokers();
+            let src = NodeId((seed % 60) as u32);
+            let dst = NodeId(((seed * 7 + 13) % 60) as u32);
+            if let Some(p) = stitch_path(&g, b, src, dst) {
+                if src != dst {
+                    prop_assert!(is_dominating_path(&g, b, &p.path));
+                }
+                prop_assert_eq!(p.path.first(), Some(&src));
+                prop_assert_eq!(p.path.last(), Some(&dst));
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Fluent builder for hand-crafted topologies.
+//!
+//! The generator covers the evaluation; tests, examples and docs often
+//! want a five-node fixture instead. `TopologyBuilder` assembles an
+//! [`Internet`] edge by edge with the relationship bookkeeping done for
+//! you.
+//!
+//! ```
+//! use topology::builder::TopologyBuilder;
+//! use topology::NodeKind;
+//!
+//! let mut b = TopologyBuilder::new();
+//! let t1 = b.add("Backbone", NodeKind::Tier1);
+//! let isp = b.add("RegionalISP", NodeKind::Transit);
+//! let stub = b.add("Campus", NodeKind::Access);
+//! let ix = b.add("IX", NodeKind::Ixp);
+//! b.customer_provider(isp, t1);
+//! b.customer_provider(stub, isp);
+//! b.member(isp, ix);
+//! let net = b.build();
+//! assert_eq!(net.as_count(), 3);
+//! assert_eq!(net.graph().edge_count(), 3);
+//! ```
+
+use crate::taxonomy::{NodeKind, Relationship};
+use crate::Internet;
+use netgraph::{GraphBuilder, NodeId};
+
+/// Incremental [`Internet`] builder for fixtures and small scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    kinds: Vec<NodeKind>,
+    names: Vec<String>,
+    rels: Vec<(NodeId, NodeId, Relationship)>,
+}
+
+impl TopologyBuilder {
+    /// Start empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a vertex; returns its id.
+    pub fn add(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = NodeId::from(self.kinds.len());
+        self.kinds.push(kind);
+        self.names.push(name.into());
+        id
+    }
+
+    /// `customer` buys transit from `provider`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is an IXP (IXPs only take memberships).
+    pub fn customer_provider(&mut self, customer: NodeId, provider: NodeId) -> &mut Self {
+        assert!(
+            self.kinds[customer.index()].is_as() && self.kinds[provider.index()].is_as(),
+            "transit relationships connect ASes"
+        );
+        self.rels
+            .push((customer, provider, Relationship::CustomerOfB));
+        self
+    }
+
+    /// Settlement-free peering between two ASes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is an IXP.
+    pub fn peer(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        assert!(
+            self.kinds[a.index()].is_as() && self.kinds[b.index()].is_as(),
+            "peering connects ASes"
+        );
+        self.rels.push((a, b, Relationship::Peer));
+        self
+    }
+
+    /// AS `member` joins exchange `ixp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one endpoint is an IXP.
+    pub fn member(&mut self, member: NodeId, ixp: NodeId) -> &mut Self {
+        assert!(
+            self.kinds[member.index()].is_as() && self.kinds[ixp.index()] == NodeKind::Ixp,
+            "membership links an AS to an IXP"
+        );
+        self.rels.push((member, ixp, Relationship::IxpMembership));
+        self
+    }
+
+    /// Number of vertices added so far.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether no vertex was added yet.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Finalize into an [`Internet`].
+    pub fn build(self) -> Internet {
+        let mut gb = GraphBuilder::new(self.kinds.len());
+        for &(a, b, _) in &self.rels {
+            gb.add_edge(a, b);
+        }
+        Internet::from_parts(gb.build(), self.kinds, self.names, self.rels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_relationships() {
+        let mut b = TopologyBuilder::new();
+        let p = b.add("P", NodeKind::Transit);
+        let c = b.add("C", NodeKind::Access);
+        let x = b.add("X", NodeKind::Ixp);
+        assert!(!b.is_empty() && b.len() == 3);
+        b.customer_provider(c, p).member(p, x);
+        let net = b.build();
+        assert_eq!(net.relationship(c, p), Some(Relationship::CustomerOfB));
+        assert_eq!(net.relationship(p, c), Some(Relationship::ProviderOfB));
+        assert_eq!(net.relationship(p, x), Some(Relationship::IxpMembership));
+        assert_eq!(net.name(p), "P");
+    }
+
+    #[test]
+    #[should_panic(expected = "membership")]
+    fn member_requires_ixp() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add("A", NodeKind::Access);
+        let c = b.add("B", NodeKind::Access);
+        b.member(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "ASes")]
+    fn peering_rejects_ixp() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add("A", NodeKind::Access);
+        let x = b.add("X", NodeKind::Ixp);
+        b.peer(a, x);
+    }
+}

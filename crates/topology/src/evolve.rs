@@ -1,0 +1,178 @@
+//! Topology evolution: historical snapshots of a grown Internet.
+//!
+//! The broker set is a long-lived institution, but the Internet grows by
+//! tens of ASes a day. How stable is a selected alliance as the edge
+//! expands? [`historical_snapshot`] derives an "earlier" Internet from a
+//! generated one by removing the most recently attached stubs — under
+//! preferential attachment the stub tail is exactly where growth happens
+//! — so a selection made "last year" can be re-evaluated against
+//! "today's" topology.
+
+use crate::taxonomy::NodeKind;
+use crate::{Internet, InternetConfig};
+use netgraph::{NodeId, NodeSet};
+
+/// Derive the historical snapshot of `net` containing all providers and
+/// IXPs but only the first `stub_fraction` of its stub ASes.
+///
+/// Returns the smaller topology plus the mapping from its vertex ids to
+/// `net`'s ids (needed to compare selections across snapshots).
+///
+/// # Panics
+///
+/// Panics unless `0 < stub_fraction <= 1`, or if `net`'s vertex layout
+/// does not match `cfg` (the snapshot relies on the generator's
+/// providers-stubs-IXPs id ordering).
+pub fn historical_snapshot(
+    net: &Internet,
+    cfg: &InternetConfig,
+    stub_fraction: f64,
+) -> (Internet, Vec<NodeId>) {
+    assert!(
+        stub_fraction > 0.0 && stub_fraction <= 1.0,
+        "stub_fraction must be in (0, 1], got {stub_fraction}"
+    );
+    let g = net.graph();
+    assert_eq!(
+        g.node_count(),
+        cfg.node_count(),
+        "topology does not match the config"
+    );
+    let n_providers = cfg.n_tier1 + cfg.n_transit;
+    let keep_stubs = ((cfg.n_stub as f64 * stub_fraction).round() as usize).max(1);
+
+    let mut keep = NodeSet::new(g.node_count());
+    for v in g.nodes() {
+        let idx = v.index();
+        let is_provider = idx < n_providers;
+        let is_kept_stub = idx >= n_providers && idx < n_providers + keep_stubs;
+        let is_ixp = net.kind(v) == NodeKind::Ixp;
+        if is_provider || is_kept_stub || is_ixp {
+            keep.insert(v);
+        }
+    }
+
+    let (sub, map) = g.induced_subgraph(&keep);
+    // Remap metadata and relationships.
+    let mut new_of_old = vec![u32::MAX; g.node_count()];
+    for (new, &old) in map.iter().enumerate() {
+        new_of_old[old.index()] = new as u32;
+    }
+    let kinds = map.iter().map(|&v| net.kind(v)).collect();
+    let names = map.iter().map(|&v| net.name(v).to_string()).collect();
+    let rels = net
+        .relationships()
+        .iter()
+        .filter(|&&(a, b, _)| keep.contains(a) && keep.contains(b))
+        .map(|&(a, b, rel)| {
+            (
+                NodeId(new_of_old[a.index()]),
+                NodeId(new_of_old[b.index()]),
+                rel,
+            )
+        })
+        .collect();
+    (Internet::from_parts(sub, kinds, names, rels), map)
+}
+
+/// Jaccard similarity of two broker sets expressed in a *common* id
+/// space (use the snapshot map to translate).
+pub fn selection_jaccard(a: &NodeSet, b: &NodeSet) -> f64 {
+    let union = a.union_len(b);
+    if union == 0 {
+        return 1.0;
+    }
+    let inter = a.len() + b.len() - union;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InternetConfig, Scale};
+
+    fn setup() -> (Internet, InternetConfig) {
+        let cfg = InternetConfig::scaled(Scale::Tiny);
+        (cfg.generate(77), cfg)
+    }
+
+    #[test]
+    fn snapshot_keeps_providers_and_ixps() {
+        let (net, cfg) = setup();
+        let (old, map) = historical_snapshot(&net, &cfg, 0.5);
+        // All providers and IXPs survive; about half the stubs.
+        let kinds = old.kinds();
+        let providers = kinds
+            .iter()
+            .filter(|k| matches!(k, NodeKind::Tier1 | NodeKind::Transit))
+            .count();
+        assert_eq!(providers, cfg.n_tier1 + cfg.n_transit);
+        assert_eq!(old.ixp_count(), cfg.n_ixp);
+        let stubs = old.as_count() - providers;
+        assert!(
+            (stubs as f64 - cfg.n_stub as f64 * 0.5).abs() < 2.0,
+            "stub count {stubs}"
+        );
+        // Map is consistent.
+        for (new, &oldid) in map.iter().enumerate() {
+            assert_eq!(old.kind(NodeId(new as u32)), net.kind(oldid));
+            assert_eq!(old.name(NodeId(new as u32)), net.name(oldid));
+        }
+    }
+
+    #[test]
+    fn snapshot_relationships_consistent() {
+        let (net, cfg) = setup();
+        let (old, map) = historical_snapshot(&net, &cfg, 0.6);
+        assert_eq!(old.relationships().len(), old.graph().edge_count());
+        // Spot-check relationship preservation through the map.
+        for &(a, b, rel) in old.relationships().iter().take(200) {
+            let (oa, ob) = (map[a.index()], map[b.index()]);
+            assert_eq!(net.relationship(oa, ob), Some(rel));
+        }
+    }
+
+    #[test]
+    fn full_fraction_is_identity() {
+        let (net, cfg) = setup();
+        let (old, _) = historical_snapshot(&net, &cfg, 1.0);
+        assert_eq!(old.graph().node_count(), net.graph().node_count());
+        assert_eq!(old.graph().edge_count(), net.graph().edge_count());
+    }
+
+    #[test]
+    fn selection_stable_across_growth() {
+        // Brokers selected on the historical snapshot should overlap
+        // heavily with brokers selected on the grown topology: the core
+        // doesn't churn.
+        let (net, cfg) = setup();
+        let (old, map) = historical_snapshot(&net, &cfg, 0.7);
+        let k = 40;
+        let now = brokerset::max_subgraph_greedy(net.graph(), k);
+        let then = brokerset::max_subgraph_greedy(old.graph(), k);
+        // Translate the old selection into current ids.
+        let then_now = NodeSet::from_iter_with_capacity(
+            net.graph().node_count(),
+            then.order().iter().map(|&v| map[v.index()]),
+        );
+        let j = selection_jaccard(now.brokers(), &then_now);
+        assert!(j > 0.5, "alliance churn too high: jaccard {j}");
+    }
+
+    #[test]
+    fn jaccard_edges() {
+        let a = NodeSet::from_iter_with_capacity(10, [NodeId(1), NodeId(2)]);
+        let b = NodeSet::from_iter_with_capacity(10, [NodeId(2), NodeId(3)]);
+        assert!((selection_jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(selection_jaccard(&a, &a), 1.0);
+        let empty = NodeSet::new(10);
+        assert_eq!(selection_jaccard(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stub_fraction")]
+    fn zero_fraction_rejected() {
+        let (net, cfg) = setup();
+        historical_snapshot(&net, &cfg, 0.0);
+    }
+}

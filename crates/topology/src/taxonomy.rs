@@ -1,0 +1,206 @@
+//! Node kinds, tiers and inter-AS business relationships.
+//!
+//! The paper divides brokers into service categories (Table 5: IXP, "T/A"
+//! transit/access providers, "C" content, "E" enterprise) and its economic
+//! analysis distinguishes high-tier from low-tier ISPs. Business
+//! relationships follow the standard Gao–Rexford model: customer→provider,
+//! peer–peer, plus IXP membership for the AS–IXP attachment links.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a vertex of the combined AS/IXP topology is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Tier-1 backbone ISP (settlement-free peer of the other tier-1s).
+    Tier1,
+    /// Transit/access provider below tier-1 ("T/A" in Table 5).
+    Transit,
+    /// Stub access network (eyeball ISP, campus, regional).
+    Access,
+    /// Content provider / CDN ("C" in Table 5).
+    Content,
+    /// Enterprise network ("E" in Table 5).
+    Enterprise,
+    /// Internet eXchange Point, modeled as an independent vertex.
+    Ixp,
+}
+
+impl NodeKind {
+    /// Whether the node is an AS (everything except an IXP).
+    pub fn is_as(self) -> bool {
+        self != NodeKind::Ixp
+    }
+
+    /// The Table 5 category label for this kind.
+    pub fn category_label(self) -> &'static str {
+        match self {
+            NodeKind::Tier1 | NodeKind::Transit | NodeKind::Access => "T/A",
+            NodeKind::Content => "C",
+            NodeKind::Enterprise => "E",
+            NodeKind::Ixp => "IXP",
+        }
+    }
+
+    /// All kinds, in declaration order (useful for composition histograms).
+    pub fn all() -> [NodeKind; 6] {
+        [
+            NodeKind::Tier1,
+            NodeKind::Transit,
+            NodeKind::Access,
+            NodeKind::Content,
+            NodeKind::Enterprise,
+            NodeKind::Ixp,
+        ]
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Tier1 => "tier1",
+            NodeKind::Transit => "transit",
+            NodeKind::Access => "access",
+            NodeKind::Content => "content",
+            NodeKind::Enterprise => "enterprise",
+            NodeKind::Ixp => "ixp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coarse position in the provider hierarchy, used by the economic model
+/// (high-tier ASes charge, low-tier ASes pay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Settlement-free core.
+    One,
+    /// Mid-tier transit.
+    Two,
+    /// Stub / edge networks.
+    Three,
+}
+
+impl Tier {
+    /// Tier of a node kind (IXPs are placed in the core tier: they carry
+    /// but neither buy nor sell transit).
+    pub fn of(kind: NodeKind) -> Tier {
+        match kind {
+            NodeKind::Tier1 | NodeKind::Ixp => Tier::One,
+            NodeKind::Transit => Tier::Two,
+            NodeKind::Access | NodeKind::Content | NodeKind::Enterprise => Tier::Three,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tier::One => "tier-1",
+            Tier::Two => "tier-2",
+            Tier::Three => "tier-3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Business relationship attached to an undirected topology edge `(a, b)`.
+///
+/// Directions are stated relative to the stored edge endpoints: the edge
+/// list in [`crate::Internet`] stores `(a, b, rel)` and
+/// `CustomerOfB` means *`a` is the customer of `b`*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// `a` buys transit from `b` (customer→provider).
+    CustomerOfB,
+    /// `b` buys transit from `a` (provider→customer, i.e. `b` is customer).
+    ProviderOfB,
+    /// Settlement-free peering.
+    Peer,
+    /// AS–IXP membership (either endpoint may be the IXP).
+    IxpMembership,
+}
+
+impl Relationship {
+    /// The same relationship seen from the opposite endpoint order.
+    pub fn reversed(self) -> Relationship {
+        match self {
+            Relationship::CustomerOfB => Relationship::ProviderOfB,
+            Relationship::ProviderOfB => Relationship::CustomerOfB,
+            other => other,
+        }
+    }
+
+    /// Whether traffic may flow both ways free of transit charges
+    /// (peering or IXP fabric).
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, Relationship::Peer | Relationship::IxpMembership)
+    }
+}
+
+impl fmt::Display for Relationship {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Relationship::CustomerOfB => "c2p",
+            Relationship::ProviderOfB => "p2c",
+            Relationship::Peer => "p2p",
+            Relationship::IxpMembership => "ixp",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_labels_match_table5() {
+        assert_eq!(NodeKind::Tier1.category_label(), "T/A");
+        assert_eq!(NodeKind::Transit.category_label(), "T/A");
+        assert_eq!(NodeKind::Access.category_label(), "T/A");
+        assert_eq!(NodeKind::Content.category_label(), "C");
+        assert_eq!(NodeKind::Enterprise.category_label(), "E");
+        assert_eq!(NodeKind::Ixp.category_label(), "IXP");
+    }
+
+    #[test]
+    fn ixp_is_not_an_as() {
+        assert!(!NodeKind::Ixp.is_as());
+        assert!(NodeKind::Content.is_as());
+        assert_eq!(NodeKind::all().len(), 6);
+    }
+
+    #[test]
+    fn tiers() {
+        assert_eq!(Tier::of(NodeKind::Tier1), Tier::One);
+        assert_eq!(Tier::of(NodeKind::Transit), Tier::Two);
+        assert_eq!(Tier::of(NodeKind::Enterprise), Tier::Three);
+        assert!(Tier::One < Tier::Three);
+    }
+
+    #[test]
+    fn relationship_reversal_is_involutive() {
+        for r in [
+            Relationship::CustomerOfB,
+            Relationship::ProviderOfB,
+            Relationship::Peer,
+            Relationship::IxpMembership,
+        ] {
+            assert_eq!(r.reversed().reversed(), r);
+        }
+        assert_eq!(
+            Relationship::CustomerOfB.reversed(),
+            Relationship::ProviderOfB
+        );
+        assert!(Relationship::Peer.is_symmetric());
+        assert!(!Relationship::CustomerOfB.is_symmetric());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(NodeKind::Ixp.to_string(), "ixp");
+        assert_eq!(Tier::Two.to_string(), "tier-2");
+        assert_eq!(Relationship::Peer.to_string(), "p2p");
+    }
+}

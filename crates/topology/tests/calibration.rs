@@ -1,0 +1,104 @@
+//! Calibration regression tests: the quarter-scale topology must keep
+//! reproducing the paper's aggregate statistics and coverage profile.
+//! These are the guardrails for anyone touching the generator constants.
+
+use topology::{InternetConfig, Scale};
+
+#[test]
+fn quarter_scale_table2_bands() {
+    let cfg = InternetConfig::scaled(Scale::Quarter);
+    let net = cfg.generate(2014);
+    let s = net.stats();
+
+    // Absolute counts match the config targets.
+    assert_eq!(s.ixps, 80);
+    assert_eq!(s.ases, 12_940);
+    assert!(
+        (s.as_as_edges as f64) > 0.97 * cfg.target_as_edges as f64,
+        "AS-AS edges {} below target band",
+        s.as_as_edges
+    );
+    assert!(
+        (s.as_ixp_edges as f64) > 0.9 * cfg.target_memberships as f64,
+        "memberships {} below target band",
+        s.as_ixp_edges
+    );
+
+    // Ratios from the paper: 40.2% IXP attachment, ~99.65% giant share.
+    assert!(
+        (0.36..=0.45).contains(&s.frac_as_with_ixp),
+        "IXP attachment {} outside band",
+        s.frac_as_with_ixp
+    );
+    let giant_frac = s.giant_component_fraction();
+    assert!(
+        (0.99..1.0).contains(&giant_frac),
+        "giant fraction {giant_frac} outside band"
+    );
+}
+
+#[test]
+fn quarter_scale_alpha_beta_graph() {
+    // The (0.99, 4)-graph property of Definition 2.
+    let net = InternetConfig::scaled(Scale::Quarter).generate(2014);
+    let mut rng = {
+        use rand::SeedableRng;
+        rand_chacha::ChaCha8Rng::seed_from_u64(99)
+    };
+    let est = netgraph::estimate_alpha(net.graph(), 0.985, 4, 120, &mut rng);
+    assert!(
+        est.satisfied,
+        "alpha at beta=4 is {:.4} (need >= 0.985)",
+        est.alpha
+    );
+}
+
+#[test]
+fn quarter_scale_coverage_profile() {
+    // The Table-1 shape: saturated connectivity at the paper's broker
+    // budgets (bands allow generator drift of a few points).
+    let net = InternetConfig::scaled(Scale::Quarter).generate(2014);
+    let g = net.graph();
+    let n = g.node_count();
+    let run = brokerset::max_subgraph_greedy(g, (n as f64 * 0.068).round() as usize);
+
+    let sat = |frac: f64| {
+        let k = ((n as f64 * frac).round() as usize).max(1);
+        brokerset::saturated_connectivity(g, run.truncated(k).brokers()).fraction
+    };
+    let at_019 = sat(0.0019);
+    let at_19 = sat(0.019);
+    let at_68 = sat(0.068);
+    assert!(
+        (0.40..=0.65).contains(&at_019),
+        "0.19% budget: {at_019} (paper 0.5314)"
+    );
+    assert!(
+        (0.80..=0.95).contains(&at_19),
+        "1.9% budget: {at_19} (paper 0.8541)"
+    );
+    assert!(
+        (0.98..=1.0).contains(&at_68),
+        "6.8% budget: {at_68} (paper 0.9929)"
+    );
+
+    // IXPB baseline band (paper: 15.70%).
+    let ixpb = brokerset::ixp_based(&net, 0);
+    let ixp_sat = brokerset::saturated_connectivity(g, ixpb.brokers()).fraction;
+    assert!(
+        (0.10..=0.25).contains(&ixp_sat),
+        "IXPB: {ixp_sat} (paper 0.157)"
+    );
+}
+
+#[test]
+fn quarter_scale_degree_tail_scale_free() {
+    let net = InternetConfig::scaled(Scale::Quarter).generate(2014);
+    let stats = netgraph::degree_stats(net.graph(), 0.02);
+    let alpha = stats.tail_exponent.expect("tail long enough");
+    assert!(
+        (0.8..=3.5).contains(&alpha),
+        "degree tail exponent {alpha} not heavy-tailed"
+    );
+    assert!(stats.max > 500, "hub degree {} too small", stats.max);
+}

@@ -1,0 +1,99 @@
+//! Scenario: the economics of actually running the alliance (Section 7).
+//!
+//! Three negotiations, end to end:
+//!
+//! 1. the alliance prices its transit product against customer ASes
+//!    (Stackelberg game — the leader posts `p_B`, followers choose
+//!    adoption),
+//! 2. it hires non-broker "employee" ASes to finish dominating paths
+//!    (Nash bargaining -> `p_j* = p_B / ⌈β/2⌉`), and
+//! 3. it splits the profit among members by Shapley value, checking the
+//!    stability conditions of Theorems 7 and 8.
+//!
+//! Run with: `cargo run --release --example economics_negotiation`
+
+use broker_net::economics::{
+    coalition::FnGame, is_superadditive, is_supermodular, nash_bargain, shapley_exact,
+    BargainConfig, CustomerAs, StackelbergGame,
+};
+
+fn main() {
+    // --- 1. Price the product -------------------------------------------------
+    // Followers by tier: low-tier ASes displace more transit spend
+    // (higher rho) when high-tier ISPs are inside the alliance.
+    let tier2 = CustomerAs {
+        qos_revenue: 6.0,
+        qos_saturation: 2.0,
+        transit_scale: 1.5,
+        transit_peak: 0.55,
+        adoption_floor: 0.05,
+    };
+    let tier3 = CustomerAs {
+        qos_revenue: 3.0,
+        qos_saturation: 2.5,
+        transit_scale: 2.5,
+        transit_peak: 0.7,
+        adoption_floor: 0.05,
+    };
+    let mut customers = vec![tier2; 30];
+    customers.extend(vec![tier3; 70]);
+    let game = StackelbergGame {
+        customers,
+        unit_cost: 0.4,
+        hire_overhead: 0.2,
+        max_price: 40.0,
+    };
+    let eq = game.equilibrium().expect("valid game");
+    println!("Stackelberg equilibrium:");
+    println!("  price p_B*       = {:.3}", eq.price);
+    println!(
+        "  adoption         = {:.1}% of customer traffic",
+        100.0 * eq.total_adoption / game.customers.len() as f64
+    );
+    println!("  alliance profit  = {:.2}", eq.leader_utility);
+    println!(
+        "  tier-2 adoption  = {:.3}, tier-3 adoption = {:.3}",
+        eq.adoptions[0],
+        eq.adoptions[99]
+    );
+
+    // --- 2. Hire employees -----------------------------------------------------
+    let bargain = nash_bargain(&BargainConfig {
+        broker_price: eq.price,
+        routing_cost: 0.3,
+        beta: 4,
+    })
+    .expect("valid bargain");
+    println!("\nNash bargaining with employee ASes (beta = 4):");
+    println!("  employee price p_j* = {:.3}", bargain.employee_price);
+    println!("  employee surplus    = {:.3}", bargain.employee_utility);
+    println!("  agreement reached   = {}", bargain.agreement);
+
+    // --- 3. Split the profit ----------------------------------------------------
+    // Coalition value: adding brokers has network externalities at first
+    // (superadditive, supermodular), then saturates. Weights model the
+    // heterogeneous coverage contribution of 8 founding members.
+    let w = [5.0, 3.0, 2.0, 1.5, 1.0, 0.8, 0.5, 0.3];
+    let profit = eq.leader_utility;
+    let value = move |mask: u32| {
+        let s: f64 = (0..8).filter(|&j| mask >> j & 1 == 1).map(|j| w[j]).sum();
+        let total: f64 = w.iter().sum();
+        // Profit scales superlinearly in covered weight (externality).
+        profit * (s / total).powf(1.3)
+    };
+    let game8 = FnGame { n: 8, f: value };
+    let shapley = shapley_exact(&game8);
+    println!("\nShapley revenue split over 8 founding brokers:");
+    for (j, v) in shapley.values.iter().enumerate() {
+        println!("  broker {j}: {v:>7.3}");
+    }
+    println!(
+        "  efficient (sum = total profit): {}",
+        shapley.is_efficient(&game8, 1e-6)
+    );
+    println!("  superadditive: {}", is_superadditive(&game8));
+    println!(
+        "  supermodular (no subcoalition wants to defect): {}",
+        is_supermodular(&game8)
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: generate a small synthetic Internet, pick a broker set,
+//! and measure what fraction of end-to-end connections it can supervise.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use broker_net::prelude::*;
+
+fn main() {
+    // 1. A ~1.1k-node Internet (use Scale::Quarter or Scale::Full for the
+    //    paper-sized runs; everything is seeded and reproducible).
+    let cfg = InternetConfig::scaled(Scale::Tiny);
+    let net = cfg.generate(2014);
+    println!("Generated topology:\n{}\n", net.stats());
+
+    // 2. Select brokers at the paper's three budgets (0.19%, 1.9%, 6.8%
+    //    of all ASes/IXPs) with the MaxSubGraph-Greedy heuristic.
+    let n = net.graph().node_count();
+    for pct in [0.0019, 0.019, 0.068] {
+        let k = ((n as f64 * pct).round() as usize).max(1);
+        let sel = max_subgraph_greedy(net.graph(), k);
+        let sat = saturated_connectivity(net.graph(), sel.brokers());
+        println!(
+            "{:>5} brokers ({:>5.2}% of nodes) -> {:>6.2}% of E2E connections dominated",
+            sel.len(),
+            100.0 * sel.len() as f64 / n as f64,
+            100.0 * sat.fraction
+        );
+    }
+
+    // 3. The l-hop view: how quickly does connectivity saturate with the
+    //    hop budget? (Paper Fig. 2b.)
+    let k = ((n as f64 * 0.068).round() as usize).max(1);
+    let sel = max_subgraph_greedy(net.graph(), k);
+    let curve = lhop_curve(net.graph(), sel.brokers(), 8, SourceMode::Exact);
+    println!("\nl-hop E2E connectivity of the {}-broker alliance:", sel.len());
+    for (i, f) in curve.fractions.iter().enumerate() {
+        println!("  l = {} : {:>6.2}%", i + 1, 100.0 * f);
+    }
+
+    // 4. Who are the top brokers? (Paper Table 5.)
+    println!("\nTop 10 brokers:");
+    for row in brokerset::ranked_brokers(&net, &sel).into_iter().take(10) {
+        println!(
+            "  #{:<3} {:<4} {:<24} degree {}",
+            row.rank, row.category, row.name, row.degree
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Scenario: auditing the alliance's failure resilience before signing.
+//!
+//! A regulator (or a prospective member) asks: if the alliance's top
+//! members defect — or random members fail — how much supervised
+//! connectivity survives, and how quickly can the coalition repair
+//! itself by recruiting replacements? This extends the paper's
+//! stability analysis (Theorems 7/8 say nobody *wants* to leave) with a
+//! what-if-they-do stress test.
+//!
+//! Run with: `cargo run --release --example resilience_audit`
+
+use broker_net::prelude::*;
+use brokerset::{failure_trace, greedy_repair, FailureOrder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(2024);
+    let g = net.graph();
+    let n = g.node_count();
+    let k = ((n as f64 * 0.068).round() as usize).max(1);
+    let alliance = max_subgraph_greedy(g, k);
+    println!(
+        "alliance: {} brokers, {:.2}% baseline connectivity\n",
+        alliance.len(),
+        100.0 * saturated_connectivity(g, alliance.brokers()).fraction
+    );
+
+    // Stress test 1: coordinated defection of the founding members.
+    let targeted = failure_trace(g, &alliance, FailureOrder::TargetedBySelectionRank, 10);
+    // Stress test 2: independent random failures.
+    let random = failure_trace(g, &alliance, FailureOrder::Random { seed: 7 }, 10);
+
+    println!("{:<14} {:<14} {:<14}", "removed", "targeted", "random");
+    for i in 0..targeted.connectivity.len() {
+        println!(
+            "{:<14} {:<14} {:<14}",
+            format!("{:.0}%", 100.0 * targeted.removed_fraction[i]),
+            format!("{:.2}%", 100.0 * targeted.connectivity[i]),
+            format!("{:.2}%", 100.0 * random.connectivity[i]),
+        );
+    }
+
+    // Repair drill: the top 10% of brokers defect; recruit replacements.
+    let n_fail = alliance.len() / 10;
+    let mut survivors = alliance.brokers().clone();
+    let mut failed = NodeSet::new(n);
+    for &v in alliance.order().iter().take(n_fail) {
+        survivors.remove(v);
+        failed.insert(v);
+    }
+    let broken = saturated_connectivity(g, &survivors).fraction;
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let repaired = greedy_repair(g, &survivors, &failed, n_fail, &mut rng);
+    let fixed = saturated_connectivity(g, repaired.brokers()).fraction;
+    println!(
+        "\nrepair drill: top {n_fail} brokers defect -> {:.2}%; after recruiting\n\
+         {n_fail} replacements (defectors excluded) -> {:.2}%",
+        100.0 * broken,
+        100.0 * fixed
+    );
+}

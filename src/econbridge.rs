@@ -1,0 +1,131 @@
+//! Bridge from topology to the economic model: derive a Stackelberg
+//! customer population from an [`Internet`]'s tier structure.
+//!
+//! The economics crate is deliberately topology-agnostic; this module
+//! does the wiring the Section 7 discussion implies: lower-tier ASes
+//! displace more transit spend when the alliance includes their
+//! upstreams (higher `transit_scale`), well-connected ASes have more
+//! QoS-sensitive revenue at stake (`qos_revenue` scaled by log-degree).
+
+use economics::{CustomerAs, StackelbergGame};
+use netgraph::NodeId;
+use topology::{Internet, NodeKind, Tier};
+
+/// Parameters of the derivation.
+#[derive(Debug, Clone, Copy)]
+pub struct BridgeConfig {
+    /// Base QoS revenue scale per unit log-degree.
+    pub qos_revenue_per_logdeg: f64,
+    /// Transit-displacement scale for tier-2 / tier-3 customers.
+    pub transit_scale_by_tier: [f64; 2],
+    /// Transit-displacement peak for tier-2 / tier-3 customers.
+    pub transit_peak_by_tier: [f64; 2],
+    /// Legacy adoption floor.
+    pub adoption_floor: f64,
+    /// Alliance marginal routing cost per adopted unit.
+    pub unit_cost: f64,
+    /// Expected employee overhead per adopted unit.
+    pub hire_overhead: f64,
+    /// Price cap.
+    pub max_price: f64,
+    /// Cap on the number of customers (sampling stride applied beyond).
+    pub max_customers: usize,
+}
+
+impl Default for BridgeConfig {
+    fn default() -> Self {
+        BridgeConfig {
+            qos_revenue_per_logdeg: 1.2,
+            transit_scale_by_tier: [1.5, 2.5],
+            transit_peak_by_tier: [0.55, 0.7],
+            adoption_floor: 0.05,
+            unit_cost: 0.4,
+            hire_overhead: 0.2,
+            max_price: 40.0,
+            max_customers: 400,
+        }
+    }
+}
+
+/// Build the pricing game for a given alliance: customers are the
+/// non-broker ASes (IXPs don't buy transit), parameterized by tier and
+/// degree.
+pub fn game_from_topology(
+    net: &Internet,
+    brokers: &netgraph::NodeSet,
+    cfg: &BridgeConfig,
+) -> StackelbergGame {
+    let g = net.graph();
+    let candidates: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| net.kind(v).is_as() && !brokers.contains(v) && net.tier(v) != Tier::One)
+        .collect();
+    let stride = candidates.len().div_ceil(cfg.max_customers.max(1)).max(1);
+    let customers: Vec<CustomerAs> = candidates
+        .iter()
+        .step_by(stride)
+        .map(|&v| {
+            let tier_idx = usize::from(net.tier(v) == Tier::Three);
+            let deg = g.degree(v).max(1) as f64;
+            let content_boost = if net.kind(v) == NodeKind::Content {
+                1.6
+            } else {
+                1.0
+            };
+            CustomerAs {
+                qos_revenue: cfg.qos_revenue_per_logdeg * (1.0 + deg.ln()) * content_boost,
+                qos_saturation: 2.0,
+                transit_scale: cfg.transit_scale_by_tier[tier_idx],
+                transit_peak: cfg.transit_peak_by_tier[tier_idx],
+                adoption_floor: cfg.adoption_floor,
+            }
+        })
+        .collect();
+    StackelbergGame {
+        customers,
+        unit_cost: cfg.unit_cost,
+        hire_overhead: cfg.hire_overhead,
+        max_price: cfg.max_price,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brokerset::max_subgraph_greedy;
+    use topology::{InternetConfig, Scale};
+
+    #[test]
+    fn derived_game_has_equilibrium() {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(5);
+        let sel = max_subgraph_greedy(net.graph(), 60);
+        let game = game_from_topology(&net, sel.brokers(), &BridgeConfig::default());
+        assert!(!game.customers.is_empty());
+        assert!(game.customers.len() <= 400);
+        let eq = game.equilibrium().expect("equilibrium exists");
+        assert!(eq.price > 0.0);
+        assert!(eq.leader_utility > 0.0);
+        assert!(eq.total_adoption > game.customers.len() as f64 * 0.05);
+    }
+
+    #[test]
+    fn brokers_and_ixps_excluded() {
+        let net = InternetConfig::scaled(Scale::Tiny).generate(6);
+        let sel = max_subgraph_greedy(net.graph(), 40);
+        let cfg = BridgeConfig {
+            max_customers: usize::MAX,
+            ..Default::default()
+        };
+        let game = game_from_topology(&net, sel.brokers(), &cfg);
+        let expected = net
+            .graph()
+            .nodes()
+            .filter(|&v| {
+                net.kind(v).is_as()
+                    && !sel.brokers().contains(v)
+                    && net.tier(v) != topology::Tier::One
+            })
+            .count();
+        assert_eq!(game.customers.len(), expected);
+    }
+}

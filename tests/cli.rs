@@ -1,0 +1,99 @@
+//! End-to-end test of the `broker_cli` binary: generate → stats →
+//! select → eval → export, through the real executable.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_broker_cli"))
+}
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("broker-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = tmpdir();
+    let snap = dir.join("net.json");
+    let dot = dir.join("net.dot");
+
+    // generate
+    let out = cli()
+        .args(["generate", "tiny", "7", snap.to_str().unwrap()])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(snap.exists());
+
+    // stats
+    let out = cli()
+        .args(["stats", snap.to_str().unwrap()])
+        .output()
+        .expect("spawn stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ASes:"), "stats output: {text}");
+
+    // select
+    let out = cli()
+        .args(["select", snap.to_str().unwrap(), "maxsg", "20"])
+        .output()
+        .expect("spawn select");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("20 brokers selected by maxsg"), "{text}");
+
+    // eval
+    let out = cli()
+        .args(["eval", snap.to_str().unwrap(), "greedy", "40"])
+        .output()
+        .expect("spawn eval");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("saturated E2E connectivity"), "{text}");
+    assert!(text.contains("l = 3:"), "{text}");
+
+    // export with highlighted brokers
+    let out = cli()
+        .args(["export", snap.to_str().unwrap(), dot.to_str().unwrap(), "10"])
+        .output()
+        .expect("spawn export");
+    assert!(out.status.success());
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.starts_with("graph topology {"));
+    assert!(dot_text.contains("fillcolor=gold"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_bad_input() {
+    // Unknown command.
+    let out = cli().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "{err}");
+
+    // Unknown algorithm on a real snapshot.
+    let dir = tmpdir();
+    let snap = dir.join("n.json");
+    assert!(cli()
+        .args(["generate", "tiny", "1", snap.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = cli()
+        .args(["select", snap.to_str().unwrap(), "magic", "5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+
+    // Missing snapshot.
+    let out = cli().args(["stats", "/definitely/missing.json"]).output().unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,117 @@
+//! Integration tests for the policy-routing layer against the broker
+//! evaluation layer: valley-free constraints, the conversion experiment,
+//! and QoS accounting on stitched paths.
+
+use broker_net::prelude::*;
+use broker_net::routing::{
+    directional_connectivity, inflation_report, stitch_path, valley_free_path, LatencyModel,
+    PolicyGraph,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn setup() -> (Internet, BrokerSelection) {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(77);
+    let sel = max_subgraph_greedy(net.graph(), 70);
+    (net, sel)
+}
+
+#[test]
+fn directionality_ordering() {
+    // bidirectional >= valley-free >= valley-free + domination.
+    let (net, sel) = setup();
+    let g = net.graph();
+    let pg = PolicyGraph::new(&net);
+    let mode = SourceMode::Sampled { count: 150, seed: 3 };
+
+    let bidir = saturated_connectivity(g, sel.brokers()).fraction;
+    let vf_free = directional_connectivity(&pg, None, mode).fraction;
+    let vf_dom = directional_connectivity(&pg, Some(sel.brokers()), mode).fraction;
+    assert!(vf_free >= vf_dom - 1e-9);
+    assert!(
+        bidir >= vf_dom - 0.02,
+        "bidirectional {bidir} should upper-bound dominated valley-free {vf_dom}"
+    );
+}
+
+#[test]
+fn conversion_sweep_is_monotone() {
+    let (net, sel) = setup();
+    let pg = PolicyGraph::new(&net);
+    let mode = SourceMode::Sampled { count: 150, seed: 3 };
+    let mut last = directional_connectivity(&pg, Some(sel.brokers()), mode).fraction;
+    for frac in [0.25, 0.5, 1.0] {
+        let mut converted = pg.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        converted.convert_interbroker_to_peering(sel.brokers(), frac, &mut rng);
+        let cur = directional_connectivity(&converted, Some(sel.brokers()), mode).fraction;
+        assert!(
+            cur >= last - 0.01,
+            "conversion {frac}: connectivity regressed {last} -> {cur}"
+        );
+        last = cur;
+    }
+}
+
+#[test]
+fn inflation_small_for_dominating_alliance() {
+    let (net, sel) = setup();
+    let g = net.graph();
+    let rep = inflation_report(g, sel.brokers(), 8, SourceMode::Exact);
+    assert!(rep.max_gap < 0.12, "max inflation gap {}", rep.max_gap);
+    // Curves saturate to their saturated connectivities.
+    let sat = saturated_connectivity(g, sel.brokers()).fraction;
+    assert!((rep.dominated.at(8) - sat).abs() < 0.02);
+}
+
+#[test]
+fn stitched_path_latency_is_accountable() {
+    let (net, sel) = setup();
+    let g = net.graph();
+    let model = LatencyModel::sample(&net, 4);
+    let pg = PolicyGraph::new(&net);
+
+    let mut found = 0;
+    for (u, v) in [(0u32, 900u32), (3, 500), (10, 1000), (100, 800)] {
+        let (u, v) = (NodeId(u), NodeId(v));
+        if let Some(p) = stitch_path(g, sel.brokers(), u, v) {
+            let qos = model.path_latency(&p.path).expect("stitched paths use real edges");
+            assert!(qos > 0.0);
+            found += 1;
+            // Compare against the BGP-style default when one exists.
+            if let Some(default) = valley_free_path(&pg, u, v) {
+                let d = model.path_latency(&default).unwrap();
+                assert!(d > 0.0);
+                // No universal ordering; both must simply be finite and
+                // hop counts sane.
+                assert!(p.hops() >= 1 && default.len() >= 2);
+            }
+        }
+    }
+    assert!(found >= 2, "too few stitched pairs ({found})");
+}
+
+#[test]
+fn ixps_never_originate_valley_violations() {
+    // Paths through IXPs are still valley-free in the policy model:
+    // sample valley-free paths and re-verify them hop by hop.
+    let (net, _) = setup();
+    let pg = PolicyGraph::new(&net);
+    let g = net.graph();
+    let mut checked = 0;
+    for u in (0..g.node_count() as u32).step_by(97) {
+        for v in (1..g.node_count() as u32).step_by(131) {
+            if u == v {
+                continue;
+            }
+            if let Some(p) = valley_free_path(&pg, NodeId(u), NodeId(v)) {
+                assert!(
+                    broker_net::routing::valleyfree::is_valley_free(&pg, &p),
+                    "returned path is not valley-free: {p:?}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 20, "too few paths checked ({checked})");
+}

@@ -1,0 +1,119 @@
+//! Integration: the Section 7 money flow over real stitched paths.
+//!
+//! Prices from the Stackelberg equilibrium and the Nash bargain are
+//! applied to concrete B-dominating paths stitched on the generated
+//! topology, and the aggregate ledger must come out profitable — the
+//! paper's overall economic-feasibility claim, computed end to end.
+
+use broker_net::prelude::*;
+use broker_net::routing::stitch_path;
+use economics::{
+    account_path, nash_bargain, AggregateLedger, BargainConfig, CustomerAs, StackelbergGame,
+    Tariff,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn alliance_is_profitable_over_stitched_traffic() {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(303);
+    let g = net.graph();
+    let n = g.node_count();
+    let alliance = max_subgraph_greedy(g, (n as f64 * 0.068) as usize);
+
+    // Price the product.
+    let game = StackelbergGame {
+        customers: vec![
+            CustomerAs {
+                qos_revenue: 5.0,
+                qos_saturation: 2.0,
+                transit_scale: 1.5,
+                transit_peak: 0.6,
+                adoption_floor: 0.05,
+            };
+            50
+        ],
+        unit_cost: 0.4,
+        hire_overhead: 0.2,
+        max_price: 30.0,
+    };
+    let eq = game.equilibrium().expect("valid game");
+    assert!(eq.leader_utility > 0.0);
+
+    // Hire employees at the bargained price.
+    let bargain = nash_bargain(&BargainConfig {
+        broker_price: eq.price,
+        routing_cost: 0.3,
+        beta: 4,
+    })
+    .expect("valid bargain");
+    assert!(bargain.agreement, "no employee agreement at price {}", eq.price);
+
+    let tariff = Tariff {
+        broker_price: eq.price,
+        employee_price: bargain.employee_price,
+        hop_cost: 0.3,
+    };
+
+    // Route sampled traffic and account it.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut ledger = AggregateLedger::default();
+    let mut broker_only = 0usize;
+    for _ in 0..500 {
+        let u = NodeId(rng.gen_range(0..n as u32));
+        let v = NodeId(rng.gen_range(0..n as u32));
+        if u == v {
+            continue;
+        }
+        let Some(path) = stitch_path(g, alliance.brokers(), u, v) else {
+            continue;
+        };
+        if path.broker_only() {
+            broker_only += 1;
+        }
+        ledger.add(account_path(&tariff, path.hops(), path.hired_employees()));
+    }
+    assert!(ledger.paths > 300, "too few routable pairs: {}", ledger.paths);
+    assert!(
+        ledger.profit > 0.0,
+        "alliance loses money over sampled traffic: {ledger:?}"
+    );
+    // Fig 5a: the overwhelming majority of connections need no hired
+    // employee at all.
+    let frac = broker_only as f64 / ledger.paths as f64;
+    assert!(frac > 0.85, "broker-only fraction {frac}");
+    // Employee payouts are therefore a small share of revenue.
+    assert!(ledger.employee_payout < 0.2 * ledger.revenue);
+}
+
+#[test]
+fn employee_count_bounded_by_bargain_assumption() {
+    // The Nash bargain assumes at most ceil(beta/2) employees per path;
+    // check stitched paths against it on the (0.99, 4)-graph.
+    let net = InternetConfig::scaled(Scale::Tiny).generate(304);
+    let g = net.graph();
+    let alliance = max_subgraph_greedy(g, 80);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let mut over_budget = 0usize;
+    let mut total = 0usize;
+    for _ in 0..400 {
+        let u = NodeId(rng.gen_range(0..g.node_count() as u32));
+        let v = NodeId(rng.gen_range(0..g.node_count() as u32));
+        if u == v {
+            continue;
+        }
+        if let Some(path) = stitch_path(g, alliance.brokers(), u, v) {
+            total += 1;
+            if path.hired_employees() > 2 {
+                over_budget += 1;
+            }
+        }
+    }
+    assert!(total > 200);
+    // The alpha-tail: a small fraction may exceed the beta/2 bound.
+    assert!(
+        (over_budget as f64) < 0.05 * total as f64,
+        "{over_budget}/{total} paths exceed the employee budget"
+    );
+}
