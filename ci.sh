@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, clippy, the repo-specific lint rules and the
+# full test suite. Fails fast; run before pushing.
+#
+# The workspace [lints] table keeps clippy::unwrap_used / expect_used /
+# print_stdout at warn level because their blanket versions cannot express
+# this repo's actual policy (tests, benches and bins may unwrap and
+# print). The precise, scoped versions of those rules (R1/R4) are
+# enforced by `cargo run -p xtask -- lint` below, so the clippy step
+# keeps them advisory while denying everything else.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+if command -v rustfmt >/dev/null 2>&1; then
+    run cargo fmt --check
+else
+    echo "==> rustfmt unavailable, skipping format check" >&2
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy --offline --workspace --all-targets -- \
+        -D warnings \
+        -A clippy::unwrap_used \
+        -A clippy::expect_used \
+        -A clippy::print_stdout
+else
+    echo "==> clippy unavailable, skipping" >&2
+fi
+
+run cargo run --offline -q -p xtask -- lint
+
+run cargo test --offline -q --workspace
+
+echo "==> CI gate passed"

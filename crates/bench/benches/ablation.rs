@@ -4,9 +4,7 @@
 //! - Algorithm 2 root selection: all roots vs a sampled subset;
 //! - exact vs sampled l-hop connectivity.
 
-use brokerset::{
-    approx_mcbg, greedy_mcb, greedy_mcb_naive, lhop_curve, ApproxConfig, SourceMode,
-};
+use brokerset::{approx_mcbg, greedy_mcb, greedy_mcb_naive, lhop_curve, ApproxConfig, SourceMode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use netgraph::NodeSet;
 use topology::{InternetConfig, Scale};
@@ -48,7 +46,10 @@ fn ablation(c: &mut Criterion) {
                 &g,
                 sel.brokers(),
                 6,
-                SourceMode::Sampled { count: 200, seed: 3 },
+                SourceMode::Sampled {
+                    count: 200,
+                    seed: 3,
+                },
             )
         })
     });
@@ -61,7 +62,10 @@ fn ablation(c: &mut Criterion) {
                 &g,
                 &full,
                 6,
-                SourceMode::Sampled { count: 200, seed: 3 },
+                SourceMode::Sampled {
+                    count: 200,
+                    seed: 3,
+                },
             )
         })
     });
@@ -80,8 +84,7 @@ fn ablation(c: &mut Criterion) {
         b.iter(|| {
             let mut last = 0.0;
             for i in (10..=maxsg.len()).step_by(10) {
-                last = brokerset::saturated_connectivity(&g, maxsg.truncated(i).brokers())
-                    .fraction;
+                last = brokerset::saturated_connectivity(&g, maxsg.truncated(i).brokers()).fraction;
             }
             last
         })

@@ -42,7 +42,10 @@ fn kernels(c: &mut Criterion) {
                 &g,
                 sel.brokers(),
                 6,
-                SourceMode::Sampled { count: 100, seed: 7 },
+                SourceMode::Sampled {
+                    count: 100,
+                    seed: 7,
+                },
             )
         })
     });
@@ -53,7 +56,10 @@ fn kernels(c: &mut Criterion) {
                 &g,
                 sel.brokers(),
                 6,
-                SourceMode::Sampled { count: 100, seed: 7 },
+                SourceMode::Sampled {
+                    count: 100,
+                    seed: 7,
+                },
                 4,
             )
         })

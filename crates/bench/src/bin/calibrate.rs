@@ -83,5 +83,8 @@ fn main() {
     // DB at ~1.9%.
     let db = brokerset::baseline::degree_based(g, budgets[1]);
     let sat = saturated_connectivity(g, db.brokers());
-    println!("DB   (k={}): saturated={:.4} (paper: 0.725 @1005)", budgets[1], sat.fraction);
+    println!(
+        "DB   (k={}): saturated={:.4} (paper: 0.725 @1005)",
+        budgets[1], sat.fraction
+    );
 }

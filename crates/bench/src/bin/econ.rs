@@ -24,7 +24,10 @@ fn main() {
     let rc = RunConfig::from_args();
     let net = rc.internet();
     let g = net.graph();
-    header("Section 7", "economic incentives for the brokerage coalition");
+    header(
+        "Section 7",
+        "economic incentives for the brokerage coalition",
+    );
 
     // --- Stackelberg -----------------------------------------------------------
     let tier2 = CustomerAs {
@@ -51,7 +54,10 @@ fn main() {
     };
     let eq = game.equilibrium().expect("valid game");
     println!("Stackelberg equilibrium (Theorem 6):");
-    println!("  p_B* = {:.3}, leader profit = {:.2}", eq.price, eq.leader_utility);
+    println!(
+        "  p_B* = {:.3}, leader profit = {:.2}",
+        eq.price, eq.leader_utility
+    );
     println!(
         "  mean adoption: tier-2 {:.3}, tier-3 {:.3} (floor 0.05)",
         eq.adoptions[..40].iter().sum::<f64>() / 40.0,
@@ -77,9 +83,7 @@ fn main() {
     let players: Vec<_> = sel.order().to_vec();
     let n_players = players.len();
     let n_nodes = g.node_count();
-    println!(
-        "\nCoalition game over the first {n_players} brokers (value = profit x coverage):"
-    );
+    println!("\nCoalition game over the first {n_players} brokers (value = profit x coverage):");
     let mut table = vec![0.0f64; 1 << n_players];
     for (mask, value) in table.iter_mut().enumerate() {
         if mask == 0 {

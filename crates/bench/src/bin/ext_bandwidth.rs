@@ -37,7 +37,9 @@ fn main() {
         // Hot-spot traffic: most demands converge on a handful of popular
         // destinations (CDN-like), which is what actually stresses the
         // access links.
-        let hot: Vec<NodeId> = (0..10).map(|_| NodeId(rng.gen_range(0..n as u32))).collect();
+        let hot: Vec<NodeId> = (0..10)
+            .map(|_| NodeId(rng.gen_range(0..n as u32)))
+            .collect();
         let demands: Vec<Demand> = (0..2500)
             .map(|i| Demand {
                 src: NodeId(rng.gen_range(0..n as u32)),

@@ -33,10 +33,7 @@ fn main() {
 
     // Sample AS destinations uniformly (IXPs are fabric, not endpoints).
     let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ 0xb6b);
-    let mut dests: Vec<NodeId> = g
-        .nodes()
-        .filter(|&v| net.kind(v).is_as())
-        .collect();
+    let mut dests: Vec<NodeId> = g.nodes().filter(|&v| net.kind(v).is_as()).collect();
     dests.shuffle(&mut rng);
     dests.truncate(12);
 
@@ -48,12 +45,7 @@ fn main() {
         let sel = run.truncated(k);
         let free = bgp_paths_dominated(&pg, sel.brokers(), &dests);
         let stitched = saturated_connectivity(g, sel.brokers()).fraction;
-        println!(
-            "{:<8} {:<22} {:<22}",
-            sel.len(),
-            pct(free),
-            pct(stitched)
-        );
+        println!("{:<8} {:<22} {:<22}", sel.len(), pct(free), pct(stitched));
     }
     println!(
         "\nreading: the gap between the columns is the traffic that must be\n\

@@ -44,10 +44,8 @@ fn main() {
         let old_k = ((old_net.graph().node_count() as f64 * 0.068).round() as usize).max(1);
         let old_sel = max_subgraph_greedy(old_net.graph(), old_k);
         // Translate old brokers into today's id space.
-        let old_today = NodeSet::from_iter_with_capacity(
-            n,
-            old_sel.order().iter().map(|&v| map[v.index()]),
-        );
+        let old_today =
+            NodeSet::from_iter_with_capacity(n, old_sel.order().iter().map(|&v| map[v.index()]));
         let jac = selection_jaccard(today.brokers(), &old_today);
         let stale_sat = saturated_connectivity(g, &old_today).fraction;
         println!(

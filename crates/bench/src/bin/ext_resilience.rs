@@ -18,14 +18,19 @@ fn main() {
     let net = rc.internet();
     let g = net.graph();
     let n = g.node_count();
-    header("Extension: resilience", "connectivity under broker failures");
+    header(
+        "Extension: resilience",
+        "connectivity under broker failures",
+    );
 
     let sel = max_subgraph_greedy(g, rc.budgets(n)[2]);
     let targeted = failure_trace(g, &sel, FailureOrder::TargetedBySelectionRank, 10);
     let random = failure_trace(
         g,
         &sel,
-        FailureOrder::Random { seed: rc.seed ^ 0xfa11 },
+        FailureOrder::Random {
+            seed: rc.seed ^ 0xfa11,
+        },
         10,
     );
 

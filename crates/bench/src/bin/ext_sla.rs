@@ -44,11 +44,18 @@ fn main() {
     };
     let t0 = std::time::Instant::now();
     let report = supervise(g, sel.brokers(), &latency, &sessions, &cfg);
-    eprintln!("[ext_sla] simulated {} epochs in {:?}", cfg.epochs, t0.elapsed());
+    eprintln!(
+        "[ext_sla] simulated {} epochs in {:?}",
+        cfg.epochs,
+        t0.elapsed()
+    );
 
     let admitted = report.sessions.iter().filter(|s| s.admitted).count();
     let reroutes: usize = report.sessions.iter().map(|s| s.reroutes).sum();
-    println!("sessions admitted:        {admitted}/{}", report.sessions.len());
+    println!(
+        "sessions admitted:        {admitted}/{}",
+        report.sessions.len()
+    );
     println!(
         "violation rate supervised: {} (per admitted session-epoch)",
         pct(report.supervised_violation_rate())

@@ -21,14 +21,20 @@ fn main() {
     header("Fig 1", "scale-free, layered structure of the topology");
 
     let stats = degree_stats(g, 0.02);
-    println!("degree: min {}, mean {:.2}, max {}", stats.min, stats.mean, stats.max);
+    println!(
+        "degree: min {}, mean {:.2}, max {}",
+        stats.min, stats.mean, stats.max
+    );
     if let Some(alpha) = stats.tail_exponent {
         println!(
             "power-law tail exponent (Hill, top {} nodes): {:.2}",
             stats.tail_count, alpha
         );
     }
-    println!("mean clustering coefficient: {:.4}", clustering_sampled(&net));
+    println!(
+        "mean clustering coefficient: {:.4}",
+        clustering_sampled(&net)
+    );
     if let Some(r) = netgraph::degree_assortativity(g) {
         println!("degree assortativity: {r:.3} (the Internet is disassortative)");
     }
@@ -62,7 +68,11 @@ fn main() {
             "{:<12} {:<10} {:<12}",
             label[i],
             nodes,
-            if nodes == 0 { "-".to_string() } else { pct(ixps as f64 / nodes as f64) }
+            if nodes == 0 {
+                "-".to_string()
+            } else {
+                pct(ixps as f64 / nodes as f64)
+            }
         );
     }
 
@@ -87,7 +97,8 @@ fn main() {
         let labels: Vec<String> = map.iter().map(|&v| net.name(v).to_string()).collect();
         let ixps = NodeSet::from_iter_with_capacity(
             sub.node_count(),
-            sub.nodes().filter(|&v| net.kind(map[v.index()]) == NodeKind::Ixp),
+            sub.nodes()
+                .filter(|&v| net.kind(map[v.index()]) == NodeKind::Ixp),
         );
         std::fs::write(&path, netgraph::to_dot(&sub, Some(&ixps), Some(&labels)))
             .expect("write dot file");
@@ -106,10 +117,7 @@ fn clustering_sampled(net: &topology::Internet) -> f64 {
     let mut rng = ChaCha8Rng::seed_from_u64(123);
     let mut nodes: Vec<_> = g.nodes().collect();
     nodes.shuffle(&mut rng);
-    let keep = NodeSet::from_iter_with_capacity(
-        g.node_count(),
-        nodes.into_iter().take(2000),
-    );
+    let keep = NodeSet::from_iter_with_capacity(g.node_count(), nodes.into_iter().take(2000));
     let (sub, _) = g.induced_subgraph(&keep);
     mean_clustering(&sub)
 }

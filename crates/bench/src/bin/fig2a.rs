@@ -28,7 +28,10 @@ fn main() {
     eprintln!("[fig2a] {runs} SC runs in {:?}", t0.elapsed());
     sizes.sort_unstable();
 
-    println!("{:<12} {:<12} {:<12}", "quantile", "set size", "fraction of V");
+    println!(
+        "{:<12} {:<12} {:<12}",
+        "quantile", "set size", "fraction of V"
+    );
     for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
         let idx = ((sizes.len() - 1) as f64 * q).round() as usize;
         println!(

@@ -7,8 +7,8 @@
 //!
 //! Usage: `fig2b [tiny|quarter|full] [seed]`
 
-use bench::{header, pct, RunConfig};
 use bench::curve;
+use bench::{header, pct, RunConfig};
 use brokerset::{
     approx_mcbg, degree_based, ixp_based, max_subgraph_greedy, pagerank_based,
     saturated_connectivity, tier1_only, ApproxConfig, BrokerSelection,

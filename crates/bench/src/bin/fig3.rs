@@ -41,10 +41,7 @@ fn main() {
         let base = prb.truncated(size);
         let base_sat = saturated_connectivity(g, base.brokers()).connected_pairs;
 
-        let mut pool: Vec<NodeId> = g
-            .nodes()
-            .filter(|v| !base.brokers().contains(*v))
-            .collect();
+        let mut pool: Vec<NodeId> = g.nodes().filter(|v| !base.brokers().contains(*v)).collect();
         pool.shuffle(&mut rng);
         pool.truncate(candidates);
 

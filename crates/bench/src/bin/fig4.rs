@@ -19,7 +19,10 @@ fn main() {
     let net = rc.internet();
     let g = net.graph();
     let n = g.node_count();
-    header("Fig 4", "broker placement: network core vs edge (coreness layers)");
+    header(
+        "Fig 4",
+        "broker placement: network core vs edge (coreness layers)",
+    );
 
     let k = rc.budgets(n)[1]; // the 1.9% budget, like the paper's ~1,005-broker sets
     let core = coreness(g);
@@ -40,7 +43,12 @@ fn main() {
             3
         }
     };
-    let label = ["edge (p0-50)", "outer (p50-90)", "inner (p90-99)", "core (p99+)"];
+    let label = [
+        "edge (p0-50)",
+        "outer (p50-90)",
+        "inner (p90-99)",
+        "core (p99+)",
+    ];
 
     let db = degree_based(g, k);
     let maxsg = max_subgraph_greedy(g, k);
@@ -77,10 +85,7 @@ fn main() {
     // B ∪ N(B) — the "outer ring uncovered" reading.
     let cov_db = dominated_set(g, db.brokers());
     let cov_ms = dominated_set(g, maxsg.brokers());
-    println!(
-        "\n{:<16} {:<16} {:<16}",
-        "layer coverage", "DB", "MaxSG"
-    );
+    println!("\n{:<16} {:<16} {:<16}", "layer coverage", "DB", "MaxSG");
     for i in 0..4 {
         let mut db_cov = 0usize;
         let mut ms_cov = 0usize;

@@ -15,7 +15,10 @@ fn main() {
     let rc = RunConfig::from_args();
     let net = rc.internet();
     let g = net.graph();
-    header("Fig 5a", "alliance composition and broker-only traffic share");
+    header(
+        "Fig 5a",
+        "alliance composition and broker-only traffic share",
+    );
 
     let k = rc.budgets(g.node_count())[2];
     let sel = max_subgraph_greedy(g, k);

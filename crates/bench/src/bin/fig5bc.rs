@@ -32,9 +32,7 @@ fn main() {
 
     println!(
         "{:<8} {:<14} {:<14} directional with conversion at 10% / 30% / 100%",
-        "k",
-        "bidirectional",
-        "directional"
+        "k", "bidirectional", "directional"
     );
     for &k in &budgets[1..] {
         let sel = run.truncated(k);

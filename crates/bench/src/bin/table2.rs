@@ -16,7 +16,13 @@ fn main() {
     header("Table 2", "summary of the collected dataset");
 
     let full = matches!(rc.scale, Scale::Full);
-    let paper = |v: &str| if full { v.to_string() } else { format!("{v} (full)") };
+    let paper = |v: &str| {
+        if full {
+            v.to_string()
+        } else {
+            format!("{v} (full)")
+        }
+    };
 
     compare_row("IXPs", &paper("322"), &s.ixps.to_string());
     compare_row("ASes", &paper("51,757"), &s.ases.to_string());
@@ -49,5 +55,8 @@ fn main() {
         &paper("40.2%"),
         &pct(s.frac_as_with_ixp),
     );
-    println!("\nderived: mean degree {:.2}, max degree {}", s.mean_degree, s.max_degree);
+    println!(
+        "\nderived: mean degree {:.2}, max degree {}",
+        s.mean_degree, s.max_degree
+    );
 }

@@ -9,8 +9,8 @@
 //!
 //! Usage: `table3 [tiny|quarter|full] [seed]`
 
-use bench::{header, pct, RunConfig};
 use bench::curve;
+use bench::{header, pct, RunConfig};
 use netgraph::{barabasi_albert, erdos_renyi_gnm, watts_strogatz, Graph, NodeSet};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -43,7 +43,11 @@ fn main() {
         ("ASes without IXPs", &no_ixp),
     ];
 
-    println!("{:<20} {}", "topology", (1..=max_l).map(|l| format!("l={l:<7}")).collect::<String>());
+    println!(
+        "{:<20} {}",
+        "topology",
+        (1..=max_l).map(|l| format!("l={l:<7}")).collect::<String>()
+    );
     for (name, graph) in rows {
         let curve = curve(
             graph,

@@ -32,29 +32,57 @@ macro_rules! smoke {
     };
 }
 
-smoke!(table1_runs, env!("CARGO_BIN_EXE_table1"), "alliance size vs coverage");
-smoke!(table2_runs, env!("CARGO_BIN_EXE_table2"), "summary of the collected dataset");
+smoke!(
+    table1_runs,
+    env!("CARGO_BIN_EXE_table1"),
+    "alliance size vs coverage"
+);
+smoke!(
+    table2_runs,
+    env!("CARGO_BIN_EXE_table2"),
+    "summary of the collected dataset"
+);
 smoke!(table3_runs, env!("CARGO_BIN_EXE_table3"), "ASes with IXPs");
 smoke!(table4_runs, env!("CARGO_BIN_EXE_table4"), "path inflation");
 smoke!(table5_runs, env!("CARGO_BIN_EXE_table5"), "rank");
 smoke!(fig1_runs, env!("CARGO_BIN_EXE_fig1"), "scale-free");
 smoke!(fig3_runs, env!("CARGO_BIN_EXE_fig3"), "corr(PR, gain)");
 smoke!(fig4_runs, env!("CARGO_BIN_EXE_fig4"), "core (p99+)");
-smoke!(fig5a_runs, env!("CARGO_BIN_EXE_fig5a"), "composition of the");
-smoke!(econ_runs, env!("CARGO_BIN_EXE_econ"), "Stackelberg equilibrium");
-smoke!(ext_bgp_runs, env!("CARGO_BIN_EXE_ext_bgp"), "default paths dominated");
+smoke!(
+    fig5a_runs,
+    env!("CARGO_BIN_EXE_fig5a"),
+    "composition of the"
+);
+smoke!(
+    econ_runs,
+    env!("CARGO_BIN_EXE_econ"),
+    "Stackelberg equilibrium"
+);
+smoke!(
+    ext_bgp_runs,
+    env!("CARGO_BIN_EXE_ext_bgp"),
+    "default paths dominated"
+);
 smoke!(
     ext_resilience_runs,
     env!("CARGO_BIN_EXE_ext_resilience"),
     "targeted"
 );
-smoke!(ext_sla_runs, env!("CARGO_BIN_EXE_ext_sla"), "violation rate supervised");
+smoke!(
+    ext_sla_runs,
+    env!("CARGO_BIN_EXE_ext_sla"),
+    "violation rate supervised"
+);
 smoke!(
     ext_bandwidth_runs,
     env!("CARGO_BIN_EXE_ext_bandwidth"),
     "per-demand"
 );
-smoke!(ext_econ_runs, env!("CARGO_BIN_EXE_ext_econ"), "profit x cov");
+smoke!(
+    ext_econ_runs,
+    env!("CARGO_BIN_EXE_ext_econ"),
+    "profit x cov"
+);
 smoke!(
     ext_evolution_runs,
     env!("CARGO_BIN_EXE_ext_evolution"),

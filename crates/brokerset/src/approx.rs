@@ -230,7 +230,11 @@ mod tests {
         // Path 0-10-11-5: hop 10-11 has no broker endpoint until a stitch
         // is added.
         let comps = dominated_components(&g, sel.brokers());
-        assert_eq!(comps.giant().unwrap().1, 12, "stitched set must connect all");
+        assert_eq!(
+            comps.giant().unwrap().1,
+            12,
+            "stitched set must connect all"
+        );
         assert!(sel.len() <= 4);
     }
 

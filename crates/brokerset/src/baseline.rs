@@ -82,7 +82,12 @@ pub fn greedy_dominating_set(g: &Graph) -> BrokerSelection {
 /// highest (sampled) betweenness centrality. Not in the paper — included
 /// because shortest-path load is the natural "transit broker" intuition,
 /// and the ablation bench shows it inherits DB/PRB's marginal effect.
-pub fn betweenness_based<R: Rng>(g: &Graph, k: usize, samples: usize, rng: &mut R) -> BrokerSelection {
+pub fn betweenness_based<R: Rng>(
+    g: &Graph,
+    k: usize,
+    samples: usize,
+    rng: &mut R,
+) -> BrokerSelection {
     let bc = netgraph::betweenness(g, Some(samples), rng);
     BrokerSelection::new("bb", g.node_count(), top_by_score(&bc, k))
 }
@@ -90,7 +95,12 @@ pub fn betweenness_based<R: Rng>(g: &Graph, k: usize, samples: usize, rng: &mut 
 /// Closeness-Based baseline (extension): the `k` vertices with the
 /// highest (sampled) closeness centrality — "pick the ASes nearest to
 /// everyone". Suffers the same overlap problem as DB/PRB.
-pub fn closeness_based<R: Rng>(g: &Graph, k: usize, samples: usize, rng: &mut R) -> BrokerSelection {
+pub fn closeness_based<R: Rng>(
+    g: &Graph,
+    k: usize,
+    samples: usize,
+    rng: &mut R,
+) -> BrokerSelection {
     let cc = netgraph::closeness(g, Some(samples), rng);
     BrokerSelection::new("cb", g.node_count(), top_by_score(&cc, k))
 }
@@ -108,11 +118,7 @@ mod tests {
     fn set_cover_always_dominates() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for seed in 0..5u64 {
-            let g = netgraph::erdos_renyi_gnm(
-                80,
-                150,
-                &mut ChaCha8Rng::seed_from_u64(seed),
-            );
+            let g = netgraph::erdos_renyi_gnm(80, 150, &mut ChaCha8Rng::seed_from_u64(seed));
             let sel = set_cover(&g, &mut rng);
             assert_eq!(dominated_set(&g, sel.brokers()).len(), 80);
         }

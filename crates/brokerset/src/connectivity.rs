@@ -242,9 +242,8 @@ pub fn is_dominating_path(g: &Graph, brokers: &NodeSet, path: &[NodeId]) -> bool
     if path.is_empty() {
         return false;
     }
-    path.windows(2).all(|w| {
-        g.has_edge(w[0], w[1]) && (brokers.contains(w[0]) || brokers.contains(w[1]))
-    })
+    path.windows(2)
+        .all(|w| g.has_edge(w[0], w[1]) && (brokers.contains(w[0]) || brokers.contains(w[1])))
 }
 
 #[cfg(test)]
@@ -415,9 +414,7 @@ mod tests {
             }
         }
         // reach = boolean (I + A')^l
-        let mut reach: Vec<Vec<bool>> = (0..n)
-            .map(|i| (0..n).map(|j| i == j).collect())
-            .collect();
+        let mut reach: Vec<Vec<bool>> = (0..n).map(|i| (0..n).map(|j| i == j).collect()).collect();
         for _ in 0..l {
             let mut next = reach.clone();
             for i in 0..n {

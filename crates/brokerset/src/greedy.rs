@@ -30,10 +30,8 @@ pub fn greedy_mcb(g: &Graph, k: usize) -> BrokerSelection {
     let mut order = Vec::with_capacity(k.min(n));
     // Heap of (cached_gain, Reverse(id)): highest gain first, lowest id on
     // ties — matching the naive argmax scan order.
-    let mut heap: BinaryHeap<(usize, Reverse<NodeId>)> = g
-        .nodes()
-        .map(|v| (g.degree(v) + 1, Reverse(v)))
-        .collect();
+    let mut heap: BinaryHeap<(usize, Reverse<NodeId>)> =
+        g.nodes().map(|v| (g.degree(v) + 1, Reverse(v))).collect();
 
     while order.len() < k && cov.covered_count() < n {
         let Some((cached, Reverse(v))) = heap.pop() else {
@@ -46,9 +44,7 @@ pub fn greedy_mcb(g: &Graph, k: usize) -> BrokerSelection {
         debug_assert!(fresh <= cached, "submodularity violated");
         let still_best = heap
             .peek()
-            .is_none_or(|&(next, Reverse(u))| {
-                fresh > next || (fresh == next && v < u)
-            });
+            .is_none_or(|&(next, Reverse(u))| fresh > next || (fresh == next && v < u));
         if still_best {
             if fresh == 0 {
                 break; // nothing left to cover

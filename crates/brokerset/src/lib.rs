@@ -65,6 +65,7 @@ pub mod pareto;
 pub mod problem;
 pub mod resilience;
 pub mod sweep;
+pub mod validate;
 pub mod weighted;
 
 pub use approx::{approx_mcbg, ApproxConfig};
@@ -87,4 +88,5 @@ pub use pareto::Frontier;
 pub use problem::{BrokerSelection, PathLengthConstraint};
 pub use resilience::{failure_trace, greedy_repair, FailureOrder, ResilienceTrace};
 pub use sweep::{connectivity_sweep, ConnectivitySweep};
+pub use validate::{AuditReport, CoverageCertificate, Validate};
 pub use weighted::{degree_proxy_weights, greedy_mcb_weighted, WeightedCoverage};

@@ -92,11 +92,7 @@ pub fn local_search_coverage(
         break; // no improving swap found
     }
 
-    let selection = BrokerSelection::new(
-        format!("{}+ls", sel.algorithm()),
-        n,
-        brokers,
-    );
+    let selection = BrokerSelection::new(format!("{}+ls", sel.algorithm()), n, brokers);
     let coverage_after = coverage(g, selection.brokers());
     LocalSearchResult {
         selection,

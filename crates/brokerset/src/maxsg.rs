@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn stops_when_everything_dominated() {
-        let g = from_edges(4, [(0, 1), (0, 2), (0, 3)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let g = from_edges(
+            4,
+            [(0, 1), (0, 2), (0, 3)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        );
         let sel = max_subgraph_greedy(&g, 4);
         assert_eq!(sel.len(), 1);
     }

@@ -2,10 +2,10 @@
 //!
 //! The per-source BFS over the dominated edge set is embarrassingly
 //! parallel: sources are independent and the graph is shared read-only.
-//! [`lhop_curve_parallel`] fans the source list out over crossbeam scoped
-//! threads and merges the per-thread histograms — on the full 52k-node
-//! topology this is the difference between minutes and seconds for exact
-//! curves.
+//! [`lhop_curve_parallel`] fans the source list out over `std::thread`
+//! scoped threads and merges the per-thread histograms — on the full
+//! 52k-node topology this is the difference between minutes and seconds
+//! for exact curves.
 
 use crate::connectivity::{run_sources, sample_sources, sample_std_error, LhopCurve, SourceMode};
 use netgraph::{Graph, NodeSet};
@@ -37,19 +37,16 @@ pub fn lhop_curve_parallel(
 
     let chunk = sources.len().div_ceil(threads);
     // Per-thread partial results: (cum histogram, per-source finals).
-    let partials: Vec<(Vec<u64>, Vec<f64>)> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<(Vec<u64>, Vec<f64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = sources
             .chunks(chunk)
-            .map(|chunk_sources| {
-                scope.spawn(move |_| run_sources(g, brokers, max_l, chunk_sources))
-            })
+            .map(|chunk_sources| scope.spawn(move || run_sources(g, brokers, max_l, chunk_sources)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("BFS worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut cum = vec![0u64; max_l];
     let mut finals: Vec<f64> = Vec::with_capacity(sources.len());
@@ -69,7 +66,6 @@ pub fn lhop_curve_parallel(
         sources: sources.len(),
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -96,7 +92,10 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
         let g = netgraph::erdos_renyi_gnm(300, 900, &mut rng);
         let sel = greedy_mcb(&g, 15);
-        let mode = SourceMode::Sampled { count: 120, seed: 9 };
+        let mode = SourceMode::Sampled {
+            count: 120,
+            seed: 9,
+        };
         let seq = lhop_curve(&g, sel.brokers(), 5, mode);
         let par = lhop_curve_parallel(&g, sel.brokers(), 5, mode, 4);
         assert_eq!(seq.fractions, par.fractions);

@@ -36,7 +36,10 @@ impl Frontier {
 
     /// Smallest budget reaching at least `target` connectivity, if any.
     pub fn budget_for(&self, target: f64) -> Option<usize> {
-        self.points.iter().find(|&&(_, f)| f >= target).map(|&(k, _)| k)
+        self.points
+            .iter()
+            .find(|&&(_, f)| f >= target)
+            .map(|&(k, _)| k)
     }
 
     /// The knee point by the max-distance-to-chord rule: the point
@@ -48,7 +51,7 @@ impl Frontier {
             return None;
         }
         let (k0, f0) = self.points[0];
-        let (k1, f1) = *self.points.last().unwrap();
+        let (k1, f1) = *self.points.last()?;
         let dk = (k1 - k0) as f64;
         let df = f1 - f0;
         if dk <= 0.0 {

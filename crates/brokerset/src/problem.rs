@@ -42,11 +42,13 @@ impl BrokerSelection {
         for &v in &order {
             assert!(set.insert(v), "duplicate broker {v} in selection order");
         }
-        BrokerSelection {
+        let sel = BrokerSelection {
             algorithm: algorithm.into(),
             order,
             set,
-        }
+        };
+        netgraph::validate::debug_validate(&sel);
+        sel
     }
 
     /// Algorithm tag this selection came from.
@@ -236,7 +238,13 @@ mod tests {
         b0.insert(NodeId(0));
         assert!(!solves_pds(&g, &b0));
         // Trivial graphs.
-        assert!(solves_pds(&from_edges(1, std::iter::empty()), &NodeSet::new(1)));
-        assert!(solves_pds(&from_edges(0, std::iter::empty()), &NodeSet::new(0)));
+        assert!(solves_pds(
+            &from_edges(1, std::iter::empty()),
+            &NodeSet::new(1)
+        ));
+        assert!(solves_pds(
+            &from_edges(0, std::iter::empty()),
+            &NodeSet::new(0)
+        ));
     }
 }

@@ -99,10 +99,7 @@ pub fn greedy_mcb_weighted(g: &Graph, weights: &[f64], k: usize) -> BrokerSelect
     // so the resolution adapts to the weight scale (absolute milli-units
     // would collapse normalized weights like traffic shares to key 0 and
     // degrade the greedy into id-order selection).
-    let max_gain = g
-        .nodes()
-        .map(|v| cov.gain(g, v))
-        .fold(0.0f64, f64::max);
+    let max_gain = g.nodes().map(|v| cov.gain(g, v)).fold(0.0f64, f64::max);
     if max_gain <= 0.0 {
         return BrokerSelection::new("greedy-mcb-weighted", n, Vec::new());
     }

@@ -41,7 +41,10 @@ impl BargainConfig {
     /// Describes the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.broker_price.is_finite() && self.broker_price > 0.0) {
-            return Err(format!("broker_price must be positive, got {}", self.broker_price));
+            return Err(format!(
+                "broker_price must be positive, got {}",
+                self.broker_price
+            ));
         }
         if !(self.routing_cost.is_finite() && self.routing_cost >= 0.0) {
             return Err(format!(
@@ -86,12 +89,14 @@ pub fn nash_bargain(cfg: &BargainConfig) -> Result<BargainOutcome, String> {
     let p_star = pb / m;
     let employee_utility = p_star - c;
     let broker_utility = 2.0 * pb - m * p_star - m * c;
-    Ok(BargainOutcome {
+    let outcome = BargainOutcome {
         employee_price: p_star,
         employee_utility,
         broker_utility,
         agreement: employee_utility > 0.0 && broker_utility > 0.0,
-    })
+    };
+    netgraph::validate::debug_validate(&crate::validate::BargainCertificate::new(cfg, &outcome));
+    Ok(outcome)
 }
 
 /// Numeric solution via golden-section on the Nash product, for use with

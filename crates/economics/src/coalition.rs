@@ -59,7 +59,10 @@ impl TableGame {
     ///
     /// Panics if the table length is not a power of two or `U(∅) != 0`.
     pub fn new(values: Vec<f64>) -> Self {
-        assert!(values.len().is_power_of_two(), "table must have 2^n entries");
+        assert!(
+            values.len().is_power_of_two(),
+            "table must have 2^n entries"
+        );
         assert!(
             values[0].abs() < 1e-12,
             "U(empty) must be 0, got {}",

@@ -34,6 +34,7 @@ pub mod sensitivity;
 pub mod shapley;
 pub mod solver;
 pub mod stackelberg;
+pub mod validate;
 
 pub use bargain::{nash_bargain, BargainConfig, BargainOutcome};
 pub use coalition::{is_in_core, is_superadditive, is_supermodular, CharacteristicFn};
@@ -41,3 +42,4 @@ pub use revenue::{account_path, AggregateLedger, PathLedger, Tariff};
 pub use sensitivity::{elasticity, sensitivity_profile, Elasticity, Knob};
 pub use shapley::{shapley_exact, shapley_monte_carlo, ShapleyResult};
 pub use stackelberg::{CustomerAs, StackelbergEquilibrium, StackelbergGame};
+pub use validate::{AuditReport, BargainCertificate, ShapleyCertificate, Validate};

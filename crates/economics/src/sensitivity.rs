@@ -79,9 +79,7 @@ pub fn elasticity(game: &StackelbergGame, knob: Knob, h: f64) -> Result<Elastici
     let up = perturbed(game, knob, 1.0 + h).equilibrium()?;
     let down = perturbed(game, knob, 1.0 - h).equilibrium()?;
     let dlog_knob = ((1.0 + h) / (1.0 - h)).ln();
-    let el = |f: &dyn Fn(&StackelbergEquilibrium) -> f64| {
-        log_ratio(f(&up), f(&down)) / dlog_knob
-    };
+    let el = |f: &dyn Fn(&StackelbergEquilibrium) -> f64| log_ratio(f(&up), f(&down)) / dlog_knob;
     Ok(Elasticity {
         knob,
         price: el(&|e| e.price),

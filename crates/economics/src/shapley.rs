@@ -50,8 +50,7 @@ pub fn shapley_exact<G: CharacteristicFn>(game: &G) -> ShapleyResult {
     for i in 1..=n {
         log_fact[i] = log_fact[i - 1] + (i as f64).ln();
     }
-    let weight =
-        |s: usize| -> f64 { (log_fact[s] + log_fact[n - s - 1] - log_fact[n]).exp() };
+    let weight = |s: usize| -> f64 { (log_fact[s] + log_fact[n - s - 1] - log_fact[n]).exp() };
     let full = (1u32 << n) - 1;
     let mut values = vec![0.0f64; n];
     for s_mask in 0..=full {
@@ -69,11 +68,13 @@ pub fn shapley_exact<G: CharacteristicFn>(game: &G) -> ShapleyResult {
     for i in 1..=n as u64 {
         permutations = permutations.saturating_mul(i);
     }
-    ShapleyResult {
+    let result = ShapleyResult {
         std_errors: vec![0.0; n],
         values,
         permutations,
-    }
+    };
+    netgraph::validate::debug_validate(&crate::validate::ShapleyCertificate::new(game, &result));
+    result
 }
 
 /// Monte Carlo Shapley: average marginal contributions over `samples`
@@ -216,10 +217,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "capped at 20")]
     fn exact_rejects_large_games() {
-        let g = FnGame {
-            n: 21,
-            f: |_| 0.0,
-        };
+        let g = FnGame { n: 21, f: |_| 0.0 };
         shapley_exact(&g);
     }
 

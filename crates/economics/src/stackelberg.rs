@@ -58,7 +58,10 @@ impl CustomerAs {
             return Err("transit_scale must be non-negative".into());
         }
         if !(0.0..1.0).contains(&self.transit_peak) {
-            return Err(format!("transit_peak must be in [0, 1), got {}", self.transit_peak));
+            return Err(format!(
+                "transit_peak must be in [0, 1), got {}",
+                self.transit_peak
+            ));
         }
         if !(0.0..=1.0).contains(&self.adoption_floor) {
             return Err("adoption_floor must be in [0, 1]".into());
@@ -167,9 +170,8 @@ impl StackelbergGame {
     /// Returns the validation error for inconsistent games.
     pub fn equilibrium(&self) -> Result<StackelbergEquilibrium, String> {
         self.validate()?;
-        let (price, leader_utility) = grid_then_golden(0.0, self.max_price, 64, 1e-9, |p| {
-            self.leader_utility(p)
-        });
+        let (price, leader_utility) =
+            grid_then_golden(0.0, self.max_price, 64, 1e-9, |p| self.leader_utility(p));
         let adoptions: Vec<f64> = self
             .customers
             .iter()
@@ -193,7 +195,12 @@ impl StackelbergGame {
 }
 
 /// A convenience population: `n` homogeneous customers.
-pub fn homogeneous_game(n: usize, customer: CustomerAs, unit_cost: f64, max_price: f64) -> StackelbergGame {
+pub fn homogeneous_game(
+    n: usize,
+    customer: CustomerAs,
+    unit_cost: f64,
+    max_price: f64,
+) -> StackelbergGame {
     StackelbergGame {
         customers: vec![customer; n],
         unit_cost,
@@ -262,7 +269,11 @@ mod tests {
         let game = homogeneous_game(20, customer(), 0.5, 20.0);
         let eq = game.equilibrium().unwrap();
         assert!(eq.price > 0.0 && eq.price <= 20.0);
-        assert!(eq.leader_utility > 0.0, "leader profit {}", eq.leader_utility);
+        assert!(
+            eq.leader_utility > 0.0,
+            "leader profit {}",
+            eq.leader_utility
+        );
         assert_eq!(eq.adoptions.len(), 20);
         assert!((eq.total_adoption - eq.adoptions.iter().sum::<f64>()).abs() < 1e-9);
         // Homogeneous followers behave identically.

@@ -3,7 +3,7 @@
 //! JSON snapshots of the full 52k-node topology run to hundreds of
 //! megabytes; the CSR arrays themselves are a few megabytes of `u32`s.
 //! This module provides a little-endian, versioned binary codec for
-//! [`Graph`] built on the `bytes` crate:
+//! [`Graph`]:
 //!
 //! ```text
 //! magic  "NGR1" (4 bytes)
@@ -13,7 +13,6 @@
 //! ```
 
 use crate::{Graph, GraphBuilder, NodeId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"NGR1";
 
@@ -49,16 +48,30 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Serialize a graph into the NGR1 binary format.
-pub fn graph_to_bytes(g: &Graph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + 8 * g.edge_count());
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(g.node_count() as u32);
-    buf.put_u32_le(g.edge_count() as u32);
+pub fn graph_to_bytes(g: &Graph) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + 8 * g.edge_count());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(g.node_count() as u32).to_le_bytes());
+    buf.extend_from_slice(&(g.edge_count() as u32).to_le_bytes());
     for (u, v) in g.edges() {
-        buf.put_u32_le(u.0);
-        buf.put_u32_le(v.0);
+        buf.extend_from_slice(&u.0.to_le_bytes());
+        buf.extend_from_slice(&v.0.to_le_bytes());
     }
-    buf.freeze()
+    buf
+}
+
+/// Little-endian `u32` cursor over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl Cursor<'_> {
+    fn take_u32(&mut self) -> u32 {
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&self.data[..4]);
+        self.data = &self.data[4..];
+        u32::from_le_bytes(word)
+    }
 }
 
 /// Deserialize a graph from the NGR1 binary format.
@@ -66,24 +79,23 @@ pub fn graph_to_bytes(g: &Graph) -> Bytes {
 /// # Errors
 ///
 /// Returns a [`CodecError`] on malformed input.
-pub fn graph_from_bytes(mut data: &[u8]) -> Result<Graph, CodecError> {
+pub fn graph_from_bytes(data: &[u8]) -> Result<Graph, CodecError> {
     if data.len() < 12 {
         return Err(CodecError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &data[..4] != MAGIC {
         return Err(CodecError::BadMagic);
     }
-    let n = data.get_u32_le();
-    let m = data.get_u32_le();
-    if data.remaining() < 8 * m as usize {
+    let mut cur = Cursor { data: &data[4..] };
+    let n = cur.take_u32();
+    let m = cur.take_u32();
+    if cur.data.len() < 8 * m as usize {
         return Err(CodecError::Truncated);
     }
     let mut b = GraphBuilder::with_capacity(n as usize, m as usize);
     for _ in 0..m {
-        let u = data.get_u32_le();
-        let v = data.get_u32_le();
+        let u = cur.take_u32();
+        let v = cur.take_u32();
         if u >= n || v >= n {
             return Err(CodecError::EdgeOutOfRange { id: u.max(v), n });
         }
@@ -101,7 +113,10 @@ mod tests {
 
     #[test]
     fn roundtrip_small() {
-        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let g = from_edges(
+            4,
+            [(0, 1), (1, 2), (2, 3)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        );
         let bytes = graph_to_bytes(&g);
         assert_eq!(&bytes[..4], b"NGR1");
         let back = graph_from_bytes(&bytes).unwrap();
@@ -119,7 +134,12 @@ mod tests {
         // Tighter than JSON (the gap widens with graph size: fixed 8
         // bytes per edge vs decimal digits + separators per entry).
         let json = serde_json::to_vec(&g).unwrap();
-        assert!(bytes.len() < json.len(), "{} vs {}", bytes.len(), json.len());
+        assert!(
+            bytes.len() < json.len(),
+            "{} vs {}",
+            bytes.len(),
+            json.len()
+        );
     }
 
     #[test]
@@ -140,14 +160,14 @@ mod tests {
             Err(CodecError::BadMagic)
         );
         // Declares one edge but provides none.
-        let mut buf = BytesMut::new();
-        buf.put_slice(b"NGR1");
-        buf.put_u32_le(2);
-        buf.put_u32_le(1);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"NGR1");
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
         assert_eq!(graph_from_bytes(&buf), Err(CodecError::Truncated));
         // Edge endpoint out of range.
-        buf.put_u32_le(0);
-        buf.put_u32_le(9);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&9u32.to_le_bytes());
         assert_eq!(
             graph_from_bytes(&buf),
             Err(CodecError::EdgeOutOfRange { id: 9, n: 2 })

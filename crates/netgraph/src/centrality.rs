@@ -102,7 +102,7 @@ pub fn coreness(g: &Graph) -> Vec<u32> {
         return Vec::new();
     }
     let mut deg: Vec<u32> = (0..n).map(|v| g.degree(NodeId::from(v)) as u32).collect();
-    let max_deg = *deg.iter().max().unwrap() as usize;
+    let max_deg = deg.iter().max().copied().unwrap_or(0) as usize;
 
     // Bucket sort vertices by degree.
     let mut bin = vec![0u32; max_deg + 2];
@@ -156,10 +156,12 @@ pub fn coreness(g: &Graph) -> Vec<u32> {
 /// highest-scoring vertices.
 pub fn top_by_score<T: PartialOrd + Copy>(scores: &[T], k: usize) -> Vec<NodeId> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
+    // Incomparable scores (NaN) sort as equal, falling back to the id
+    // tiebreak, so the ordering stays total and the sort cannot panic.
     order.sort_by(|&a, &b| {
         scores[b]
             .partial_cmp(&scores[a])
-            .expect("scores must not contain NaN")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
     order.into_iter().take(k).map(NodeId::from).collect()
@@ -205,8 +207,7 @@ mod tests {
     #[test]
     fn pagerank_correlates_with_degree_undirected() {
         // Barbell-ish: hub 0 with 5 leaves, hub 6 with 2 leaves, bridge.
-        let mut edges: Vec<(NodeId, NodeId)> =
-            (1..6).map(|i| (NodeId(0), NodeId(i))).collect();
+        let mut edges: Vec<(NodeId, NodeId)> = (1..6).map(|i| (NodeId(0), NodeId(i))).collect();
         edges.push((NodeId(0), NodeId(6)));
         edges.push((NodeId(6), NodeId(7)));
         edges.push((NodeId(6), NodeId(8)));

@@ -131,7 +131,10 @@ impl Components {
     /// component. This is the numerator of the paper's *saturated E2E
     /// connectivity*.
     pub fn connected_ordered_pairs(&self) -> u64 {
-        self.sizes.iter().map(|&s| (s as u64) * (s as u64 - 1)).sum()
+        self.sizes
+            .iter()
+            .map(|&s| (s as u64) * (s as u64 - 1))
+            .sum()
     }
 
     /// Members of component `c`.
@@ -285,10 +288,7 @@ mod tests {
     #[test]
     fn components_within_mask() {
         // Path 0-1-2-3-4; removing 2 splits it.
-        let g = from_edges(
-            5,
-            (0..4).map(|i| (NodeId(i), NodeId(i + 1))),
-        );
+        let g = from_edges(5, (0..4).map(|i| (NodeId(i), NodeId(i + 1))));
         let mut allowed = NodeSet::full(5);
         allowed.remove(NodeId(2));
         let c = components_within(&g, &allowed);

@@ -58,11 +58,10 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on distance via reversed comparison; ties by node id for
-        // determinism.
+        // determinism. total_cmp keeps the ordering total even for NaN.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("distance must not be NaN")
+            .total_cmp(&self.dist)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -83,14 +82,17 @@ impl ShortestPaths {
         self.parent[dst.index()]?;
         let mut path = vec![dst];
         let mut cur = dst;
-        loop {
-            let p = self.parent[cur.index()].expect("parent chain broken");
+        while let Some(p) = self.parent[cur.index()] {
             if p == cur {
                 break;
             }
             path.push(p);
             cur = p;
         }
+        debug_assert!(
+            self.parent[cur.index()].is_some(),
+            "parent chain broke before reaching the source"
+        );
         path.reverse();
         Some(path)
     }
@@ -152,7 +154,10 @@ mod tests {
     #[test]
     fn weighted_prefers_cheap_detour() {
         // 0-1 cost 10; 0-2-1 cost 2+2.
-        let g = from_edges(3, [(0, 1), (0, 2), (2, 1)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let g = from_edges(
+            3,
+            [(0, 1), (0, 2), (2, 1)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        );
         let w = FnWeights(|u: NodeId, v: NodeId| {
             if (u.0.min(v.0), u.0.max(v.0)) == (0, 1) {
                 10.0
@@ -162,7 +167,10 @@ mod tests {
         });
         let sp = dijkstra(&g, NodeId(0), &w);
         assert_eq!(sp.dist[1], 4.0);
-        assert_eq!(sp.path_to(NodeId(1)).unwrap(), vec![NodeId(0), NodeId(2), NodeId(1)]);
+        assert_eq!(
+            sp.path_to(NodeId(1)).unwrap(),
+            vec![NodeId(0), NodeId(2), NodeId(1)]
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { index, node_count } => {
-                write!(f, "node index {index} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node index {index} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             GraphError::Disconnected => write!(f, "operation requires a connected graph"),

@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn edge_list_roundtrip() {
-        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let g = from_edges(
+            4,
+            [(0, 1), (1, 2), (2, 3)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        );
         let text = to_edge_list(&g);
         let g2 = from_edge_list(&text, 0).unwrap();
         assert_eq!(g, g2);

@@ -158,9 +158,12 @@ pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
         // would leak RandomState into the generated graph's RNG stream).
         let mut picked: Vec<u32> = Vec::with_capacity(m);
         while picked.len() < m {
-            let &t = endpoints
-                .choose(rng)
-                .expect("endpoint pool can never be empty");
+            // The pool always holds the seed half-edges, so `choose` only
+            // returns `None` on an impossible empty pool; bail rather
+            // than spin.
+            let Some(&t) = endpoints.choose(rng) else {
+                break;
+            };
             if !picked.contains(&t) {
                 picked.push(t);
             }

@@ -296,10 +296,38 @@ impl GraphBuilder {
             let hi = offsets[v + 1] as usize;
             neighbors[lo..hi].sort_unstable();
         }
-        Graph {
+        let g = Graph {
             offsets,
             neighbors,
             edges: self.edges.len(),
+        };
+        // Full CSR re-audit at the construction boundary (debug builds
+        // only; release builds skip it entirely).
+        crate::validate::debug_validate(&g);
+        g
+    }
+}
+
+impl Graph {
+    /// Raw CSR arrays for the in-crate invariant audit
+    /// ([`crate::validate`]); not part of the public surface.
+    pub(crate) fn csr_parts(&self) -> (&[u32], &[NodeId], usize) {
+        (&self.offsets, &self.neighbors, self.edges)
+    }
+
+    /// Assemble a graph directly from CSR arrays, bypassing the builder
+    /// and all invariants — exists so the audit tests can manufacture
+    /// corrupted representations.
+    #[cfg(test)]
+    pub(crate) fn from_csr_unchecked(
+        offsets: Vec<u32>,
+        neighbors: Vec<NodeId>,
+        edges: usize,
+    ) -> Graph {
+        Graph {
+            offsets,
+            neighbors,
+            edges,
         }
     }
 }

@@ -64,6 +64,7 @@ pub mod graph;
 pub mod metrics;
 pub mod nodeset;
 pub mod traverse;
+pub mod validate;
 
 pub use alphabeta::{estimate_alpha, hop_histogram, AlphaBetaEstimate, HopHistogram};
 pub use binio::{graph_from_bytes, graph_to_bytes, CodecError};
@@ -83,3 +84,4 @@ pub use traverse::{
     bfs_distances, bfs_distances_bounded, bfs_parents, multi_source_bfs, restricted_bfs_distances,
     shortest_path, Bfs,
 };
+pub use validate::{debug_validate, AuditReport, Finding, Validate};

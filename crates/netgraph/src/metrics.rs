@@ -144,7 +144,7 @@ pub fn degree_stats(g: &Graph, tail_fraction: f64) -> DegreeStats {
     }
     degrees.sort_unstable();
     let min = degrees[0];
-    let max = *degrees.last().unwrap();
+    let max = degrees.last().copied().unwrap_or(min);
     let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
     let k = ((degrees.len() as f64 * tail_fraction) as usize).min(degrees.len() - 1);
     let tail_exponent = if k >= 8 {
@@ -325,7 +325,10 @@ mod tests {
 
     #[test]
     fn clustering_triangle_and_path() {
-        let tri = from_edges(3, [(0, 1), (1, 2), (0, 2)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let tri = from_edges(
+            3,
+            [(0, 1), (1, 2), (0, 2)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        );
         assert_eq!(clustering_coefficients(&tri), vec![1.0, 1.0, 1.0]);
         assert!((mean_clustering(&tri) - 1.0).abs() < 1e-12);
         let p = path_graph(3);
@@ -371,7 +374,7 @@ mod tests {
         let c = closeness(&g, None, &mut rng);
         assert!(c[2] > c[1] && c[1] > c[0]);
         assert!((c[0] - c[4]).abs() < 1e-12); // symmetry
-        // Star: hub maximal (closeness 1 under W-F normalization).
+                                              // Star: hub maximal (closeness 1 under W-F normalization).
         let star = from_edges(6, (1..6).map(|i| (NodeId(0), NodeId(i))));
         let cs = closeness(&star, None, &mut rng);
         assert!((cs[0] - 1.0).abs() < 1e-12);
@@ -390,7 +393,10 @@ mod tests {
         for cv in c.iter().take(4) {
             assert!((cv - 1.0 / 3.0).abs() < 1e-12);
         }
-        assert_eq!(closeness(&from_edges(1, std::iter::empty()), None, &mut rng), vec![0.0]);
+        assert_eq!(
+            closeness(&from_edges(1, std::iter::empty()), None, &mut rng),
+            vec![0.0]
+        );
     }
 
     #[test]
@@ -401,7 +407,10 @@ mod tests {
         let approx = closeness(&g, Some(80), &mut rng);
         let top_exact = crate::top_by_score(&exact, 1)[0];
         let top5: Vec<NodeId> = crate::top_by_score(&approx, 5);
-        assert!(top5.contains(&top_exact), "sampled closeness misses the hub");
+        assert!(
+            top5.contains(&top_exact),
+            "sampled closeness misses the hub"
+        );
     }
 
     #[test]

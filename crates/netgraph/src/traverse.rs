@@ -26,7 +26,6 @@ pub struct Bfs {
     seen: Vec<u32>,
 }
 
-
 impl Bfs {
     /// Scratch space for graphs with `n` vertices.
     pub fn new(n: usize) -> Self {
@@ -254,7 +253,9 @@ pub fn path_from_parents(
     let mut path = vec![dst];
     let mut cur = dst;
     while cur != src {
-        let p = parent[cur.index()].expect("parent chain broken");
+        // A broken chain means the tree does not actually reach `src`;
+        // report "no path" instead of panicking in library code.
+        let p = parent[cur.index()]?;
         debug_assert_ne!(p, cur, "non-source vertex is its own parent");
         path.push(p);
         cur = p;
@@ -269,10 +270,7 @@ mod tests {
     use crate::graph::from_edges;
 
     fn path_graph(n: u32) -> Graph {
-        from_edges(
-            n as usize,
-            (0..n - 1).map(|i| (NodeId(i), NodeId(i + 1))),
-        )
+        from_edges(n as usize, (0..n - 1).map(|i| (NodeId(i), NodeId(i + 1))))
     }
 
     #[test]
@@ -317,8 +315,7 @@ mod tests {
     fn restricted_bfs_respects_mask() {
         // 0-1-2-3-4 plus shortcut 0-4; mask forbids the shortcut's far end
         // middle: allowed = {0, 1, 2, 3, 4} minus {2}.
-        let mut edges: Vec<(NodeId, NodeId)> =
-            (0..4).map(|i| (NodeId(i), NodeId(i + 1))).collect();
+        let mut edges: Vec<(NodeId, NodeId)> = (0..4).map(|i| (NodeId(i), NodeId(i + 1))).collect();
         edges.push((NodeId(0), NodeId(4)));
         let g = from_edges(5, edges);
         let mut allowed = NodeSet::full(5);
@@ -347,7 +344,10 @@ mod tests {
         assert_eq!(p[3], Some(NodeId(2)));
         let path = path_from_parents(&p, NodeId(0), NodeId(3)).unwrap();
         assert_eq!(path.len(), 4);
-        assert_eq!(shortest_path(&g, NodeId(0), NodeId(0)).unwrap(), vec![NodeId(0)]);
+        assert_eq!(
+            shortest_path(&g, NodeId(0), NodeId(0)).unwrap(),
+            vec![NodeId(0)]
+        );
     }
 
     #[test]

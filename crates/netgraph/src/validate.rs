@@ -1,0 +1,410 @@
+//! Structural invariant auditing — the [`Validate`] trait.
+//!
+//! Every crate in the workspace implements [`Validate`] for its central
+//! data structure (or a certificate wrapper around one): the CSR graph
+//! here, the Internet model in `topology`, coverage certificates in
+//! `brokerset`, valley-free path certificates in `routing`, and the
+//! game-theoretic solution certificates in `economics`. An audit is a
+//! *re-derivation* of the invariants from the raw representation — it
+//! shares no code with the constructors whose output it checks.
+//!
+//! Audits return an [`AuditReport`] rather than panicking, so callers
+//! choose the failure mode: the `broker-cli audit` subcommand prints
+//! reports, tests assert on them, and construction boundaries call
+//! [`debug_validate`] (a no-op in release builds).
+
+use crate::{Graph, NodeId};
+use std::fmt;
+
+/// One violated invariant, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Short stable name of the invariant (e.g. `csr.offsets-monotone`).
+    pub invariant: &'static str,
+    /// Human-readable description of the specific violation.
+    pub detail: String,
+}
+
+/// Outcome of an invariant audit: which checks ran, what failed.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// What was audited (e.g. `netgraph::Graph`).
+    pub subject: String,
+    /// Number of invariant checks performed.
+    pub checks: usize,
+    /// Violations discovered (empty means the audit passed).
+    pub findings: Vec<Finding>,
+}
+
+impl AuditReport {
+    /// Start an empty report for `subject`.
+    pub fn new(subject: impl Into<String>) -> Self {
+        AuditReport {
+            subject: subject.into(),
+            checks: 0,
+            findings: Vec::new(),
+        }
+    }
+
+    /// Record one check; `detail` is only evaluated on failure.
+    pub fn check(&mut self, invariant: &'static str, ok: bool, detail: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.findings.push(Finding {
+                invariant,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Fold a sub-audit into this report (its subject prefixes details).
+    pub fn absorb(&mut self, sub: AuditReport) {
+        self.checks += sub.checks;
+        for f in sub.findings {
+            self.findings.push(Finding {
+                invariant: f.invariant,
+                detail: format!("[{}] {}", sub.subject, f.detail),
+            });
+        }
+    }
+
+    /// Whether every check passed.
+    pub fn is_ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            write!(
+                f,
+                "{}: {} checks, all invariants hold",
+                self.subject, self.checks
+            )
+        } else {
+            writeln!(
+                f,
+                "{}: {} of {} checks FAILED",
+                self.subject,
+                self.findings.len(),
+                self.checks
+            )?;
+            for finding in &self.findings {
+                writeln!(f, "  {}: {}", finding.invariant, finding.detail)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Deep structural self-audit.
+pub trait Validate {
+    /// Re-derive every invariant of `self` from its raw representation.
+    fn audit(&self) -> AuditReport;
+}
+
+/// Run an audit and panic on findings — only under `debug_assertions`.
+///
+/// This is the hook construction boundaries call: free in release
+/// builds, a full invariant sweep in debug builds and tests.
+pub fn debug_validate<T: Validate + ?Sized>(value: &T) {
+    #[cfg(debug_assertions)]
+    {
+        let report = value.audit();
+        assert!(report.is_ok(), "invariant audit failed:\n{report}");
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = value;
+    }
+}
+
+/// Cap on per-invariant exemplars so a badly corrupted structure still
+/// produces a readable report.
+const MAX_EXEMPLARS: usize = 4;
+
+/// Collect up to [`MAX_EXEMPLARS`] offending items plus a total count
+/// into one detail string.
+fn summarize(total: usize, exemplars: &[String]) -> String {
+    if total <= exemplars.len() {
+        exemplars.join("; ")
+    } else {
+        format!(
+            "{} (and {} more)",
+            exemplars.join("; "),
+            total - exemplars.len()
+        )
+    }
+}
+
+impl Validate for Graph {
+    /// Deep CSR audit, re-deriving the representation invariants:
+    ///
+    /// 1. `offsets` has `n + 1` entries, starts at 0, is monotone
+    ///    non-decreasing, and ends at `2m = neighbors.len()`;
+    /// 2. every adjacency list is strictly ascending (sorted, deduped)
+    ///    and free of self-loops, with all ids in `0..n`;
+    /// 3. adjacency is symmetric: `u ∈ N(v) ⇔ v ∈ N(u)`;
+    /// 4. the degree sum equals `2m`.
+    fn audit(&self) -> AuditReport {
+        let (offsets, neighbors, m) = self.csr_parts();
+        let mut rep = AuditReport::new("netgraph::Graph");
+        let n = offsets.len().saturating_sub(1);
+
+        rep.check(
+            "csr.offsets-shape",
+            !offsets.is_empty() && offsets[0] == 0,
+            || format!("offsets len {} first {:?}", offsets.len(), offsets.first()),
+        );
+        let monotone = offsets.windows(2).all(|w| w[0] <= w[1]);
+        rep.check("csr.offsets-monotone", monotone, || {
+            let bad = offsets
+                .windows(2)
+                .position(|w| w[0] > w[1])
+                .unwrap_or_default();
+            format!(
+                "offsets[{}]={} > offsets[{}]={}",
+                bad,
+                offsets[bad],
+                bad + 1,
+                offsets[bad + 1]
+            )
+        });
+        let end = offsets.last().copied().unwrap_or_default() as usize;
+        rep.check(
+            "csr.offsets-end",
+            end == neighbors.len() && end == 2 * m,
+            || {
+                format!(
+                    "offsets end {end}, neighbors.len() {}, 2m {}",
+                    neighbors.len(),
+                    2 * m
+                )
+            },
+        );
+
+        // Per-vertex list checks. Guard indices so a corrupted `offsets`
+        // cannot panic the auditor itself.
+        let mut unsorted = 0usize;
+        let mut self_loops = 0usize;
+        let mut out_of_range = 0usize;
+        let mut asymmetric = 0usize;
+        let mut ex_unsorted = Vec::new();
+        let mut ex_loops = Vec::new();
+        let mut ex_range = Vec::new();
+        let mut ex_asym = Vec::new();
+        let span = |v: usize| -> &[NodeId] {
+            if v + 1 >= offsets.len() {
+                return &[];
+            }
+            let lo = (offsets[v] as usize).min(neighbors.len());
+            let hi = (offsets[v + 1] as usize).clamp(lo, neighbors.len());
+            &neighbors[lo..hi]
+        };
+        for v in 0..n {
+            let list = span(v);
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                unsorted += 1;
+                if ex_unsorted.len() < MAX_EXEMPLARS {
+                    ex_unsorted.push(format!("vertex {v}"));
+                }
+            }
+            for &u in list {
+                if u.index() >= n {
+                    out_of_range += 1;
+                    if ex_range.len() < MAX_EXEMPLARS {
+                        ex_range.push(format!("{v} -> {}", u.0));
+                    }
+                    continue;
+                }
+                if u.index() == v {
+                    self_loops += 1;
+                    if ex_loops.len() < MAX_EXEMPLARS {
+                        ex_loops.push(format!("vertex {v}"));
+                    }
+                }
+                if span(u.index()).binary_search(&NodeId(v as u32)).is_err() {
+                    asymmetric += 1;
+                    if ex_asym.len() < MAX_EXEMPLARS {
+                        ex_asym.push(format!("{v} -> {} without back-edge", u.0));
+                    }
+                }
+            }
+        }
+        rep.check("csr.lists-sorted-deduped", unsorted == 0, || {
+            summarize(unsorted, &ex_unsorted)
+        });
+        rep.check("csr.no-self-loops", self_loops == 0, || {
+            summarize(self_loops, &ex_loops)
+        });
+        rep.check("csr.ids-in-range", out_of_range == 0, || {
+            summarize(out_of_range, &ex_range)
+        });
+        rep.check("csr.symmetric", asymmetric == 0, || {
+            summarize(asymmetric, &ex_asym)
+        });
+
+        let degree_sum: usize = (0..n).map(|v| span(v).len()).sum();
+        rep.check("csr.degree-sum", degree_sum == 2 * m, || {
+            format!("degree sum {degree_sum}, expected 2m = {}", 2 * m)
+        });
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{from_edges, GraphBuilder};
+    use proptest::prelude::*;
+
+    fn csr_clone(g: &Graph) -> (Vec<u32>, Vec<NodeId>, usize) {
+        let (o, a, m) = g.csr_parts();
+        (o.to_vec(), a.to_vec(), m)
+    }
+
+    fn sample_graph() -> Graph {
+        from_edges(
+            5,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        )
+    }
+
+    #[test]
+    fn built_graphs_pass() {
+        let g = sample_graph();
+        let rep = g.audit();
+        assert!(rep.is_ok(), "{rep}");
+        assert!(rep.checks >= 7);
+        assert!(rep.to_string().contains("all invariants hold"));
+        // Empty graph, isolated vertices.
+        assert!(from_edges(0, std::iter::empty()).audit().is_ok());
+        assert!(from_edges(3, std::iter::empty()).audit().is_ok());
+    }
+
+    #[test]
+    fn broken_symmetry_detected() {
+        let (o, mut a, m) = csr_clone(&sample_graph());
+        // Redirect one half-edge: 0's first neighbor becomes 3 (no
+        // back-edge 3 -> 0 at the right multiplicity).
+        a[0] = NodeId(3);
+        let bad = Graph::from_csr_unchecked(o, a, m);
+        let rep = bad.audit();
+        assert!(!rep.is_ok());
+        assert!(
+            rep.findings.iter().any(|f| f.invariant == "csr.symmetric"),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let (o, mut a, m) = csr_clone(&sample_graph());
+        // Vertex 1's list contains 0; point it at 1 itself.
+        let lo = o[1] as usize;
+        a[lo] = NodeId(1);
+        let bad = Graph::from_csr_unchecked(o, a, m);
+        let rep = bad.audit();
+        assert!(
+            rep.findings
+                .iter()
+                .any(|f| f.invariant == "csr.no-self-loops"),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn offset_corruption_detected() {
+        let (mut o, a, m) = csr_clone(&sample_graph());
+        let last = o.len() - 1;
+        o[last] += 2;
+        let bad = Graph::from_csr_unchecked(o, a, m);
+        let rep = bad.audit();
+        assert!(
+            rep.findings
+                .iter()
+                .any(|f| f.invariant == "csr.offsets-end"),
+            "{rep}"
+        );
+
+        let (mut o, a, m) = csr_clone(&sample_graph());
+        o.swap(1, 2);
+        let bad = Graph::from_csr_unchecked(o, a, m);
+        assert!(!bad.audit().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let (o, mut a, m) = csr_clone(&sample_graph());
+        a[1] = NodeId(99);
+        let bad = Graph::from_csr_unchecked(o, a, m);
+        let rep = bad.audit();
+        assert!(
+            rep.findings
+                .iter()
+                .any(|f| f.invariant == "csr.ids-in-range"),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn report_absorb_prefixes_subject() {
+        let mut outer = AuditReport::new("outer");
+        let mut inner = AuditReport::new("inner");
+        inner.check("x.fails", false, || "boom".into());
+        outer.absorb(inner);
+        assert_eq!(outer.findings.len(), 1);
+        assert!(outer.findings[0].detail.contains("[inner]"));
+        assert!(outer.to_string().contains("FAILED"));
+    }
+
+    proptest! {
+        /// Every builder output passes the audit, whatever the raw edge
+        /// soup (duplicates, self-loops, reversed pairs) looked like.
+        #[test]
+        fn audit_accepts_all_builder_outputs(
+            n in 1usize..40,
+            raw in proptest::collection::vec((0u32..64, 0u32..64), 0..120)
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in raw {
+                let (u, v) = (u as usize % n, v as usize % n);
+                if u != v {
+                    b.add_edge(NodeId(u as u32), NodeId(v as u32));
+                }
+            }
+            let g = b.build();
+            let rep = g.audit();
+            prop_assert!(rep.is_ok(), "{}", rep);
+        }
+
+        /// Mutating any single neighbor entry of a non-trivial graph is
+        /// caught by at least one invariant.
+        #[test]
+        fn audit_rejects_neighbor_mutations(
+            seed_edges in proptest::collection::vec((0u32..12, 0u32..12), 8..40),
+            idx in 0usize..1000,
+            delta in 1u32..5,
+        ) {
+            let mut b = GraphBuilder::new(12);
+            for (u, v) in seed_edges {
+                if u != v {
+                    b.add_edge(NodeId(u), NodeId(v));
+                }
+            }
+            let g = b.build();
+            let (o, mut a, m) = csr_clone(&g);
+            prop_assume!(!a.is_empty());
+            let i = idx % a.len();
+            // Shift one endpoint; modular arithmetic keeps it in range,
+            // so the corruption must be caught structurally (sortedness,
+            // symmetry, or self-loop), not by a bounds check.
+            let old = a[i];
+            a[i] = NodeId((old.0 + delta) % 12);
+            prop_assume!(a[i] != old);
+            let bad = Graph::from_csr_unchecked(o, a, m);
+            prop_assert!(!bad.audit().is_ok());
+        }
+    }
+}

@@ -71,7 +71,11 @@ impl RouteTable {
             let r = self.routes[cur.index()]?;
             cur = r.next_hop;
             path.push(cur);
-            guard = guard.checked_sub(1).expect("next-hop walk cycled");
+            let Some(g) = guard.checked_sub(1) else {
+                debug_assert!(false, "next-hop walk cycled");
+                return None;
+            };
+            guard = g;
         }
         Some(path)
     }
@@ -98,7 +102,10 @@ pub fn bgp_routes(pg: &PolicyGraph, dst: NodeId) -> RouteTable {
     let mut queue = VecDeque::new();
     queue.push_back(dst);
     while let Some(u) = queue.pop_front() {
-        let base = routes[u.index()].expect("queued nodes have routes");
+        let Some(base) = routes[u.index()] else {
+            debug_assert!(false, "queued node {u:?} has no route");
+            continue;
+        };
         for &(v, class) in pg.out_edges(u) {
             // u advertises to v; v learns a customer route when u is v's
             // customer, i.e. the edge u -> v is ToProvider.
@@ -185,7 +192,10 @@ pub fn bgp_routes(pg: &PolicyGraph, dst: NodeId) -> RouteTable {
         .map(NodeId::from)
         .collect();
     while let Some(u) = queue.pop_front() {
-        let base = routes[u.index()].expect("queued nodes have routes");
+        let Some(base) = routes[u.index()] else {
+            debug_assert!(false, "queued node {u:?} has no route");
+            continue;
+        };
         for &(v, class) in pg.out_edges(u) {
             // u advertises to its customer v: edge u -> v is ToCustomer.
             if class != EdgeClass::ToCustomer {
@@ -213,8 +223,9 @@ pub fn bgp_routes(pg: &PolicyGraph, dst: NodeId) -> RouteTable {
 fn better(cand: Route, cur: Option<Route>) -> bool {
     match cur {
         None => true,
-        Some(cur) => (cand.class, cand.path_len, cand.next_hop)
-            < (cur.class, cur.path_len, cur.next_hop),
+        Some(cur) => {
+            (cand.class, cand.path_len, cand.next_hop) < (cur.class, cur.path_len, cur.next_hop)
+        }
     }
 }
 
@@ -226,11 +237,7 @@ fn better(cand: Route, cur: Option<Route>) -> bool {
 /// act as destinations (an IXP "destination" has no exportable
 /// self-route, and IXP relay vertices holding stage-2 routes are fabric,
 /// not sources), so both are skipped.
-pub fn bgp_paths_dominated(
-    pg: &PolicyGraph,
-    brokers: &NodeSet,
-    destinations: &[NodeId],
-) -> f64 {
+pub fn bgp_paths_dominated(pg: &PolicyGraph, brokers: &NodeSet, destinations: &[NodeId]) -> f64 {
     let mut dominated = 0u64;
     let mut total = 0u64;
     for &d in destinations {
@@ -306,12 +313,10 @@ mod tests {
         // C2 gets it from its provider T1.
         let r2 = t.route(NodeId(4)).unwrap();
         assert_eq!(r2.class, RouteClass::Provider);
-        assert_eq!(t.path_from(NodeId(4)).unwrap(), vec![
-            NodeId(4),
-            NodeId(1),
-            NodeId(0),
-            NodeId(2)
-        ]);
+        assert_eq!(
+            t.path_from(NodeId(4)).unwrap(),
+            vec![NodeId(4), NodeId(1), NodeId(0), NodeId(2)]
+        );
     }
 
     #[test]
@@ -364,7 +369,10 @@ mod tests {
                     s,
                     crate::valleyfree::ReachOptions::default(),
                 );
-                assert!(reach.contains(d), "BGP route exists but no valley-free path");
+                assert!(
+                    reach.contains(d),
+                    "BGP route exists but no valley-free path"
+                );
             }
         }
     }
@@ -381,7 +389,10 @@ mod tests {
             g,
             vec![NodeKind::Access, NodeKind::Access, NodeKind::Ixp],
             (0..3).map(|i| format!("n{i}")).collect(),
-            edges.iter().map(|&(a, b, r)| (NodeId(a), NodeId(b), r)).collect(),
+            edges
+                .iter()
+                .map(|&(a, b, r)| (NodeId(a), NodeId(b), r))
+                .collect(),
         );
         let pg = PolicyGraph::new(&net);
         let t = bgp_routes(&pg, NodeId(0));
@@ -424,7 +435,10 @@ mod tests {
         let dests: Vec<NodeId> = (0..5).map(|i| NodeId(i * 37)).collect();
         let with = bgp_paths_dominated(&pg, sel.brokers(), &dests);
         let without = bgp_paths_dominated(&pg, &none, &dests);
-        assert!(with > 0.3, "alliance should dominate many default paths ({with})");
+        assert!(
+            with > 0.3,
+            "alliance should dominate many default paths ({with})"
+        );
         assert!(without < 1e-9);
         assert!(with <= 1.0);
     }

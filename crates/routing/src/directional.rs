@@ -96,7 +96,10 @@ mod tests {
         let g = net.graph();
         let pg = PolicyGraph::new(&net);
         let sel = max_subgraph_greedy(g, 60);
-        let mode = SourceMode::Sampled { count: 120, seed: 4 };
+        let mode = SourceMode::Sampled {
+            count: 120,
+            seed: 4,
+        };
 
         let bidir = brokerset::lhop_curve(g, sel.brokers(), 64, mode)
             .fractions
@@ -116,7 +119,10 @@ mod tests {
     fn peering_conversion_recovers_connectivity() {
         let net = InternetConfig::scaled(Scale::Tiny).generate(31);
         let sel = max_subgraph_greedy(net.graph(), 60);
-        let mode = SourceMode::Sampled { count: 120, seed: 4 };
+        let mode = SourceMode::Sampled {
+            count: 120,
+            seed: 4,
+        };
 
         let pg = PolicyGraph::new(&net);
         let before = directional_connectivity(&pg, Some(sel.brokers()), mode);

@@ -101,11 +101,7 @@ pub fn dominated_path_avoiding(
 
 /// Fraction of sampled connected pairs with an edge-disjoint backup —
 /// the alliance's protected-traffic share.
-pub fn protection_ratio(
-    g: &Graph,
-    brokers: &NodeSet,
-    pairs: &[(NodeId, NodeId)],
-) -> f64 {
+pub fn protection_ratio(g: &Graph, brokers: &NodeSet, pairs: &[(NodeId, NodeId)]) -> f64 {
     let mut connected = 0usize;
     let mut protected = 0usize;
     for &(u, v) in pairs {
@@ -142,14 +138,22 @@ mod tests {
     fn cycle_has_disjoint_backup() {
         // 4-cycle, all brokers: two disjoint routes between opposite
         // corners.
-        let g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let g = from_edges(
+            4,
+            [(0, 1), (1, 2), (2, 3), (3, 0)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        );
         let plan = failover_plan(&g, &NodeSet::full(4), NodeId(0), NodeId(2)).unwrap();
         assert!(plan.is_protected());
         let backup = plan.backup.unwrap();
         assert_eq!(plan.primary.hops(), 2);
         assert_eq!(backup.hops(), 2);
         // Edge-disjointness.
-        let pe: HashSet<_> = plan.primary.path.windows(2).map(|w| edge_key(w[0], w[1])).collect();
+        let pe: HashSet<_> = plan
+            .primary
+            .path
+            .windows(2)
+            .map(|w| edge_key(w[0], w[1]))
+            .collect();
         for w in backup.path.windows(2) {
             assert!(!pe.contains(&edge_key(w[0], w[1])));
         }
@@ -166,7 +170,10 @@ mod tests {
     fn backup_respects_domination() {
         // 4-cycle with brokers only {1}: primary 0-1-2; backup 0-3-2 has
         // no broker hop -> not protected.
-        let g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let g = from_edges(
+            4,
+            [(0, 1), (1, 2), (2, 3), (3, 0)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        );
         let plan = failover_plan(&g, &set(4, &[1]), NodeId(0), NodeId(2)).unwrap();
         assert!(!plan.is_protected());
     }

@@ -61,7 +61,10 @@ mod tests {
         let net = InternetConfig::scaled(Scale::Tiny).generate(41);
         let g = net.graph();
         let sel = max_subgraph_greedy(g, 120);
-        let mode = SourceMode::Sampled { count: 150, seed: 2 };
+        let mode = SourceMode::Sampled {
+            count: 150,
+            seed: 2,
+        };
         let rep = inflation_report(g, sel.brokers(), 8, mode);
         assert!(
             rep.max_gap < 0.15,
@@ -80,7 +83,10 @@ mod tests {
         let g = net.graph();
         let small = degree_based(g, 8);
         let big = max_subgraph_greedy(g, 120);
-        let mode = SourceMode::Sampled { count: 150, seed: 2 };
+        let mode = SourceMode::Sampled {
+            count: 150,
+            seed: 2,
+        };
         let rep_small = inflation_report(g, small.brokers(), 8, mode);
         let rep_big = inflation_report(g, big.brokers(), 8, mode);
         assert!(
@@ -96,7 +102,10 @@ mod tests {
         let net = InternetConfig::scaled(Scale::Tiny).generate(43);
         let g = net.graph();
         let sel = max_subgraph_greedy(g, 100);
-        let mode = SourceMode::Sampled { count: 100, seed: 5 };
+        let mode = SourceMode::Sampled {
+            count: 100,
+            seed: 5,
+        };
         let rep = inflation_report(g, sel.brokers(), 6, mode);
         // The dominated curve can never exceed the free curve when both
         // use the same source sample (identical seed).

@@ -107,8 +107,7 @@ impl MonitorReport {
         if admitted.is_empty() || self.epochs == 0 {
             return 0.0;
         }
-        admitted.iter().map(|s| f(s)).sum::<usize>() as f64
-            / (admitted.len() * self.epochs) as f64
+        admitted.iter().map(|s| f(s)).sum::<usize>() as f64 / (admitted.len() * self.epochs) as f64
     }
 }
 
@@ -229,8 +228,7 @@ pub fn supervise(
                 .is_none_or(|l| l > s.sla);
             if breached {
                 let forbidden: HashSet<(u32, u32)> = degraded.keys().copied().collect();
-                let reroute =
-                    dominated_path_avoiding(g, brokers, s.src, s.dst, &forbidden);
+                let reroute = dominated_path_avoiding(g, brokers, s.src, s.dst, &forbidden);
                 let fixed = match reroute {
                     Some(alt) => {
                         let ok = eval(&alt.path).is_some_and(|l| l <= s.sla);

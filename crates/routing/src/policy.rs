@@ -112,9 +112,7 @@ impl PolicyGraph {
             // Collect targets first to appease the borrow checker.
             let targets: Vec<NodeId> = self.adj[u_idx]
                 .iter()
-                .filter(|&&(v, cls)| {
-                    u < v && brokers.contains(v) && cls != EdgeClass::AllianceFree
-                })
+                .filter(|&&(v, cls)| u < v && brokers.contains(v) && cls != EdgeClass::AllianceFree)
                 .map(|&(v, _)| v)
                 .collect();
             for v in targets {
@@ -137,12 +135,7 @@ impl PolicyGraph {
     }
 }
 
-fn classify(
-    net: &Internet,
-    _a: NodeId,
-    b: NodeId,
-    rel: Relationship,
-) -> (EdgeClass, EdgeClass) {
+fn classify(net: &Internet, _a: NodeId, b: NodeId, rel: Relationship) -> (EdgeClass, EdgeClass) {
     match rel {
         Relationship::CustomerOfB => (EdgeClass::ToProvider, EdgeClass::ToCustomer),
         Relationship::ProviderOfB => (EdgeClass::ToCustomer, EdgeClass::ToProvider),
@@ -221,10 +214,8 @@ mod tests {
         let mut pg = PolicyGraph::new(&net);
         let before = pg.clone();
         // Brokers: the provider head (ids 0..40).
-        let brokers = NodeSet::from_iter_with_capacity(
-            net.graph().node_count(),
-            (0..40).map(NodeId),
-        );
+        let brokers =
+            NodeSet::from_iter_with_capacity(net.graph().node_count(), (0..40).map(NodeId));
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let converted = pg.convert_interbroker_to_peering(&brokers, 1.0, &mut rng);
         assert!(converted > 0, "some inter-broker transit links expected");
@@ -242,7 +233,10 @@ mod tests {
         }
         // Edges with a non-broker endpoint are untouched.
         for u in 40..pg.node_count() {
-            assert_eq!(pg.out_edges(NodeId(u as u32)), before.out_edges(NodeId(u as u32)));
+            assert_eq!(
+                pg.out_edges(NodeId(u as u32)),
+                before.out_edges(NodeId(u as u32))
+            );
         }
     }
 
@@ -253,7 +247,10 @@ mod tests {
         let before = pg.clone();
         let brokers = NodeSet::full(net.graph().node_count());
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        assert_eq!(pg.convert_interbroker_to_peering(&brokers, 0.0, &mut rng), 0);
+        assert_eq!(
+            pg.convert_interbroker_to_peering(&brokers, 0.0, &mut rng),
+            0
+        );
         assert_eq!(pg, before);
     }
 

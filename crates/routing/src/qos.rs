@@ -81,8 +81,8 @@ impl LatencyModel {
 
 fn tier_base(t: Tier) -> f64 {
     match t {
-        Tier::One => 4.0,   // backbone / exchange fabric
-        Tier::Two => 10.0,  // regional transit
+        Tier::One => 4.0,    // backbone / exchange fabric
+        Tier::Two => 10.0,   // regional transit
         Tier::Three => 18.0, // access tail
     }
 }

@@ -50,12 +50,7 @@ impl StitchedPath {
 ///
 /// Returns `None` when no dominating path exists. The endpoints need not
 /// be brokers (they are customers of the brokerage).
-pub fn stitch_path(
-    g: &Graph,
-    brokers: &NodeSet,
-    src: NodeId,
-    dst: NodeId,
-) -> Option<StitchedPath> {
+pub fn stitch_path(g: &Graph, brokers: &NodeSet, src: NodeId, dst: NodeId) -> Option<StitchedPath> {
     let n = g.node_count();
     if src == dst {
         return Some(mk(brokers, vec![src]));
@@ -120,10 +115,10 @@ pub fn stitch_path_weighted(
     }
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> Ordering {
+            // total_cmp keeps the ordering total even for NaN latencies.
             other
                 .0
-                .partial_cmp(&self.0)
-                .expect("latency must not be NaN")
+                .total_cmp(&self.0)
                 .then_with(|| other.1.cmp(&self.1))
         }
     }
@@ -143,9 +138,10 @@ pub fn stitch_path_weighted(
             if !u_broker && !brokers.contains(v) {
                 continue;
             }
-            let w = latency
-                .edge_latency(u, v)
-                .expect("graph edge must be priced");
+            let Some(w) = latency.edge_latency(u, v) else {
+                debug_assert!(false, "graph edge {u:?}-{v:?} is not priced");
+                continue;
+            };
             let nd = d + w;
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;

@@ -104,8 +104,7 @@ pub fn valley_free_reach(pg: &PolicyGraph, src: NodeId, opts: ReachOptions<'_>) 
                 }
             }
             let v_in_alliance = opts.alliance.is_some_and(|a| a.contains(v));
-            let Some(next) = step_with_alliance(phase, class, u_in_alliance, v_in_alliance)
-            else {
+            let Some(next) = step_with_alliance(phase, class, u_in_alliance, v_in_alliance) else {
                 continue;
             };
             let state = 2 * v.index() + usize::from(next == Phase::Down);
@@ -153,13 +152,17 @@ pub fn valley_free_path(pg: &PolicyGraph, src: NodeId, dst: NodeId) -> Option<Ve
     let mut path = Vec::new();
     loop {
         path.push(NodeId::from(state / 2));
-        let p = parent[state].expect("parent chain broken");
-        if p == state {
-            break;
+        match parent[state] {
+            Some(p) if p != state => state = p,
+            Some(_) => break,
+            None => {
+                debug_assert!(false, "parent chain broken");
+                return None;
+            }
         }
-        state = p;
     }
     path.reverse();
+    netgraph::validate::debug_validate(&crate::validate::PathCertificate::new(pg, &path));
     Some(path)
 }
 
@@ -207,10 +210,7 @@ mod tests {
             (2, 5, Relationship::IxpMembership),     // C0 at IXP
             (3, 5, Relationship::IxpMembership),     // C1 at IXP
         ];
-        let g = from_edges(
-            6,
-            edges.iter().map(|&(a, b, _)| (NodeId(a), NodeId(b))),
-        );
+        let g = from_edges(6, edges.iter().map(|&(a, b, _)| (NodeId(a), NodeId(b))));
         let kinds = vec![
             NodeKind::Tier1,
             NodeKind::Tier1,
@@ -237,7 +237,10 @@ mod tests {
         assert_eq!(step(Phase::Down, EdgeClass::ToCustomer), Some(Phase::Down));
         assert_eq!(step(Phase::Down, EdgeClass::ToProvider), None);
         assert_eq!(step(Phase::Up, EdgeClass::AllianceFree), Some(Phase::Up));
-        assert_eq!(step(Phase::Down, EdgeClass::AllianceFree), Some(Phase::Down));
+        assert_eq!(
+            step(Phase::Down, EdgeClass::AllianceFree),
+            Some(Phase::Down)
+        );
         assert_eq!(step(Phase::Down, EdgeClass::Peer), None);
         assert_eq!(step(Phase::Down, EdgeClass::IntoIxp), None);
         assert_eq!(step(Phase::Up, EdgeClass::IntoIxp), Some(Phase::Up));

@@ -50,7 +50,8 @@ impl Region {
 
     /// Index in [`Region::all`].
     pub fn index(self) -> usize {
-        Region::all().iter().position(|&r| r == self).unwrap()
+        // Every variant is listed in all(); the fallback keeps it total.
+        Region::all().iter().position(|&r| r == self).unwrap_or(0)
     }
 }
 
@@ -147,9 +148,10 @@ impl GeoModel {
         // the generator; for hand-built topologies the fallback draw
         // covers orphans).
         let provider_of = |v: NodeId| -> Option<NodeId> {
-            g.neighbors(v).iter().copied().find(|&u| {
-                net.relationship(v, u) == Some(Relationship::CustomerOfB)
-            })
+            g.neighbors(v)
+                .iter()
+                .copied()
+                .find(|&u| net.relationship(v, u) == Some(Relationship::CustomerOfB))
         };
         for v in g.nodes() {
             if regions[v.index()].is_some() || net.kind(v) == NodeKind::Ixp {

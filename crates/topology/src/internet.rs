@@ -154,7 +154,11 @@ impl InternetConfig {
     pub fn generate(&self, seed: u64) -> Internet {
         self.validate().expect("invalid InternetConfig");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        Generator::new(self, &mut rng).run()
+        let net = Generator::new(self, &mut rng).run();
+        // Full topology invariant audit at the generation boundary
+        // (debug builds only).
+        netgraph::validate::debug_validate(&net);
+        net
     }
 
     /// Check configuration consistency.
@@ -419,8 +423,7 @@ impl<'a, R: Rng> Generator<'a, R> {
         } else {
             rel.reversed()
         };
-        self.rels
-            .push((NodeId(key.0), NodeId(key.1), rel));
+        self.rels.push((NodeId(key.0), NodeId(key.1), rel));
         true
     }
 
@@ -481,7 +484,8 @@ impl<'a, R: Rng> Generator<'a, R> {
             WeightedIndex::new(self.provider_weights.clone()).expect("non-empty weights");
         for i in 0..cfg.n_transit {
             let me = cfg.n_tier1 + i;
-            let n_up = 1 + (self.rng.gen_range(0.0..1.0) < 0.6) as usize
+            let n_up = 1
+                + (self.rng.gen_range(0.0..1.0) < 0.6) as usize
                 + (self.rng.gen_range(0.0..1.0) < 0.25) as usize;
             let mut attached = 0;
             let mut attempts = 0;
@@ -490,10 +494,9 @@ impl<'a, R: Rng> Generator<'a, R> {
                 let p = pool_dist.sample(self.rng);
                 // Hierarchy: only attach upwards (tier-1 or better-ranked
                 // transit) to keep the provider DAG acyclic.
-                if (p < cfg.n_tier1 || p < me)
-                    && self.add_edge(me, p, Relationship::CustomerOfB) {
-                        attached += 1;
-                    }
+                if (p < cfg.n_tier1 || p < me) && self.add_edge(me, p, Relationship::CustomerOfB) {
+                    attached += 1;
+                }
             }
             if attached == 0 {
                 // Guarantee connectivity to the core.
@@ -553,11 +556,8 @@ impl<'a, R: Rng> Generator<'a, R> {
 
         // Core mesh endpoints: providers (dampened Zipf) + content stubs.
         let mut core_ids: Vec<usize> = (0..n_providers).collect();
-        let mut core_weights: Vec<f64> = self
-            .provider_weights
-            .iter()
-            .map(|w| w.powf(0.6))
-            .collect();
+        let mut core_weights: Vec<f64> =
+            self.provider_weights.iter().map(|w| w.powf(0.6)).collect();
         for s in 0..first_isolated {
             if kinds[stub_base + s] == NodeKind::Content {
                 core_ids.push(stub_base + s);
@@ -626,8 +626,7 @@ impl<'a, R: Rng> Generator<'a, R> {
                 .iter()
                 .map(|&m| if m < n_providers { 1.0 } else { 0.05 })
                 .collect();
-            let member_dist =
-                WeightedIndex::new(member_extra_weights).expect("non-empty weights");
+            let member_dist = WeightedIndex::new(member_extra_weights).expect("non-empty weights");
             let mut guard = 0usize;
             while self.rels.len() < cfg.target_as_edges + cfg.target_memberships
                 && guard < cfg.target_memberships * 40
@@ -744,8 +743,7 @@ mod tests {
     fn ixps_only_have_membership_edges() {
         let net = tiny();
         for &(u, v, rel) in net.relationships() {
-            let touches_ixp =
-                net.kind(u) == NodeKind::Ixp || net.kind(v) == NodeKind::Ixp;
+            let touches_ixp = net.kind(u) == NodeKind::Ixp || net.kind(v) == NodeKind::Ixp;
             if touches_ixp {
                 assert_eq!(rel, Relationship::IxpMembership, "edge ({u}, {v})");
             } else {
@@ -814,11 +812,7 @@ mod tests {
         let g = net.graph();
         let mut member_as = 0usize;
         for v in g.nodes() {
-            if net.kind(v).is_as()
-                && g.neighbors(v)
-                    .iter()
-                    .any(|&n| net.kind(n) == NodeKind::Ixp)
-            {
+            if net.kind(v).is_as() && g.neighbors(v).iter().any(|&n| net.kind(n) == NodeKind::Ixp) {
                 member_as += 1;
             }
         }

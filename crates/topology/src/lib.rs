@@ -37,6 +37,7 @@ pub mod internet;
 pub mod snapshot;
 pub mod stats;
 pub mod taxonomy;
+pub mod validate;
 
 pub use evolve::{historical_snapshot, selection_jaccard};
 pub use geo::{GeoModel, Region};
@@ -44,3 +45,4 @@ pub use internet::{Internet, InternetConfig, Scale};
 pub use snapshot::{load_snapshot, save_snapshot};
 pub use stats::TopologyStats;
 pub use taxonomy::{NodeKind, Relationship, Tier};
+pub use validate::{AuditReport, Validate};

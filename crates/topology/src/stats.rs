@@ -93,7 +93,7 @@ impl TopologyStats {
 
         let mut kind_counts = [0usize; 6];
         for &k in net.kinds() {
-            let idx = NodeKind::all().iter().position(|&x| x == k).unwrap();
+            let idx = NodeKind::all().iter().position(|&x| x == k).unwrap_or(0);
             kind_counts[idx] += 1;
         }
 
@@ -139,7 +139,11 @@ impl fmt::Display for TopologyStats {
         writeln!(f, "Max connected subgraph:        {}", self.giant_component)?;
         writeln!(f, "AS-AS connections:             {}", self.as_as_edges)?;
         writeln!(f, "AS-IXP connections:            {}", self.as_ixp_edges)?;
-        writeln!(f, "IXP-mediated AS pairs:         {}", self.ixp_mediated_pairs)?;
+        writeln!(
+            f,
+            "IXP-mediated AS pairs:         {}",
+            self.ixp_mediated_pairs
+        )?;
         writeln!(
             f,
             "ASes with IXP attachment:      {:.1}%",
@@ -225,10 +229,7 @@ mod tests {
         let net = cfg.generate(11);
         let s = net.stats();
         assert_eq!(s.ases + s.ixps, cfg.node_count());
-        assert_eq!(
-            s.as_as_edges + s.as_ixp_edges,
-            net.graph().edge_count()
-        );
+        assert_eq!(s.as_as_edges + s.as_ixp_edges, net.graph().edge_count());
         assert!(s.mean_degree > 2.0);
         assert!(s.max_degree > 20);
         assert_eq!(s.kind_counts.iter().sum::<usize>(), cfg.node_count());

@@ -1,0 +1,149 @@
+//! Parsing and matching of `lint.allow` suppression entries.
+//!
+//! Format: one entry per line, `rule|path|substring`, where `rule` is an
+//! `R#` id, `path` is the exact workspace-relative file, and `substring`
+//! must occur in the offending line. Blank lines and `#` comments are
+//! ignored. Matching on content rather than line number keeps entries
+//! stable across unrelated edits to the same file.
+
+use crate::rules::Rule;
+use crate::Violation;
+
+/// A parsed suppression entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    rule: Rule,
+    path: String,
+    substring: String,
+    raw: String,
+}
+
+/// The set of accepted pre-existing violations.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. Malformed lines are ignored (they simply
+    /// never match, so the violation they meant to cover still fails the
+    /// run — strictness errs toward reporting).
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '|');
+            let (rule, path, substring) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(p), Some(s)) => (r, p, s),
+                _ => continue,
+            };
+            let Some(rule) = Rule::from_id(rule.trim()) else {
+                continue;
+            };
+            entries.push(Entry {
+                rule,
+                path: path.trim().to_string(),
+                substring: s_trim(substring),
+                raw: line.to_string(),
+            });
+        }
+        Allowlist { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index of the first entry covering `v`, if any.
+    pub fn matches(&self, v: &Violation) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.rule == v.rule && e.path == v.path && v.excerpt.contains(&e.substring))
+    }
+
+    /// The raw text of entry `idx` (for stale-entry reporting).
+    pub fn entry_text(&self, idx: usize) -> String {
+        self.entries
+            .get(idx)
+            .map(|e| e.raw.clone())
+            .unwrap_or_default()
+    }
+}
+
+fn s_trim(s: &str) -> String {
+    s.trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: Rule, path: &str, excerpt: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let a = Allowlist::parse(
+            "# header comment\n\nR1|crates/netgraph/src/io.rs|legacy.unwrap()\nR5|src/lib.rs|TODO: tidy\n",
+        );
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(
+            a.matches(&v(
+                Rule::NoUnwrap,
+                "crates/netgraph/src/io.rs",
+                "let x = legacy.unwrap();"
+            )),
+            Some(0)
+        );
+        // Wrong rule, wrong path, or missing substring -> no match.
+        assert_eq!(
+            a.matches(&v(
+                Rule::NoPrintInLib,
+                "crates/netgraph/src/io.rs",
+                "legacy.unwrap()"
+            )),
+            None
+        );
+        assert_eq!(
+            a.matches(&v(
+                Rule::NoUnwrap,
+                "crates/netgraph/src/other.rs",
+                "legacy.unwrap()"
+            )),
+            None
+        );
+        assert_eq!(
+            a.matches(&v(
+                Rule::NoUnwrap,
+                "crates/netgraph/src/io.rs",
+                "fresh.unwrap()"
+            )),
+            None
+        );
+        assert_eq!(a.entry_text(1), "R5|src/lib.rs|TODO: tidy");
+    }
+
+    #[test]
+    fn malformed_lines_skipped() {
+        let a = Allowlist::parse("R1 only-two|fields\nR9|x.rs|bad rule\njust text\n");
+        assert_eq!(a.len(), 0);
+        assert!(a.is_empty());
+        assert_eq!(a.entry_text(5), "");
+    }
+}

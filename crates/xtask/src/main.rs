@@ -1,0 +1,82 @@
+//! CLI entry point: `cargo run -p xtask -- lint [--json]`.
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use xtask::{find_workspace_root, lint_workspace};
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- <command>
+
+commands:
+  lint [--json] [--root <dir>]   run the repo-specific static analysis (R1-R5)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let json = args.iter().any(|a| a == "--json");
+            let root = args
+                .iter()
+                .position(|a| a == "--root")
+                .and_then(|i| args.get(i + 1))
+                .map(std::path::PathBuf::from);
+            run_lint(json, root)
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(json: bool, root: Option<std::path::PathBuf>) -> ExitCode {
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+            match find_workspace_root(here) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "xtask: cannot locate workspace root above {}",
+                        here.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask: lint failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+            println!("  {}", v.rule.describe());
+        }
+        println!(
+            "xtask lint: {} file(s), {} violation(s), {} allowlisted, {} stale allow entr(ies)",
+            report.files_scanned,
+            report.violations.len(),
+            report.allowed.len(),
+            report.stale_allows.len()
+        );
+        for s in &report.stale_allows {
+            println!("  stale allow: {s}");
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,329 @@
+//! The R1-R5 rule set and per-file checking.
+
+use crate::scanner;
+use crate::Violation;
+use std::fmt;
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// No `.unwrap()` / `.expect(` in product-crate library code.
+    NoUnwrap,
+    /// No non-seeded RNG outside `#[cfg(test)]`.
+    NoUnseededRng,
+    /// Crate roots must carry `#![forbid(unsafe_code)]` and a `//!` header.
+    CrateRootHygiene,
+    /// No `println!` / `print!` / `dbg!` in product-crate library code.
+    NoPrintInLib,
+    /// `TODO` / `FIXME` comments must reference an issue (`#123`).
+    TodoNeedsIssue,
+}
+
+impl Rule {
+    /// Short stable identifier (`R1`..`R5`) used in reports and allowlists.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "R1",
+            Rule::NoUnseededRng => "R2",
+            Rule::CrateRootHygiene => "R3",
+            Rule::NoPrintInLib => "R4",
+            Rule::TodoNeedsIssue => "R5",
+        }
+    }
+
+    /// Parse an `R#` identifier.
+    pub fn from_id(s: &str) -> Option<Rule> {
+        match s {
+            "R1" => Some(Rule::NoUnwrap),
+            "R2" => Some(Rule::NoUnseededRng),
+            "R3" => Some(Rule::CrateRootHygiene),
+            "R4" => Some(Rule::NoPrintInLib),
+            "R5" => Some(Rule::TodoNeedsIssue),
+            _ => None,
+        }
+    }
+
+    /// One-line description for reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no unwrap()/expect() in library code (use the crate error types)",
+            Rule::NoUnseededRng => "no non-seeded RNG outside #[cfg(test)]",
+            Rule::CrateRootHygiene => {
+                "crate root must start with a //! header and forbid unsafe_code"
+            }
+            Rule::NoPrintInLib => "no println!/print!/dbg! in library code",
+            Rule::TodoNeedsIssue => "TODO/FIXME must reference an issue (#N)",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// The five crates whose library code carries the strict R1/R4 rules.
+pub const PRODUCT_CRATES: [&str; 5] = ["netgraph", "topology", "brokerset", "routing", "economics"];
+
+/// How a file participates in the rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `src/` of a product crate (or the root `broker-net` facade):
+    /// all rules apply.
+    ProductLib,
+    /// Library code of support crates (`xtask`): R2/R3/R5 only.
+    SupportLib,
+    /// Binaries (`src/bin/`, `src/main.rs`): user-facing I/O is the point.
+    Bin,
+    /// `tests/` trees and anything under `#[cfg(test)]`.
+    Test,
+    /// `benches/` trees: R1/R4 exempt, seeded RNG still required.
+    Bench,
+    /// `examples/` trees: narrative code, R2/R5 only.
+    Example,
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(path: &str) -> FileClass {
+    if path.contains("/tests/") || path.starts_with("tests/") {
+        return FileClass::Test;
+    }
+    if path.contains("/benches/") || path.starts_with("benches/") {
+        return FileClass::Bench;
+    }
+    if path.contains("/examples/") || path.starts_with("examples/") {
+        return FileClass::Example;
+    }
+    if path.contains("src/bin/") || path.ends_with("src/main.rs") {
+        return FileClass::Bin;
+    }
+    let is_product = PRODUCT_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+        || path.starts_with("src/");
+    if is_product {
+        FileClass::ProductLib
+    } else {
+        FileClass::SupportLib
+    }
+}
+
+/// Whether this path is a crate root that R3 applies to.
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+}
+
+/// Run every applicable rule over one file.
+pub fn check_file(path: &str, text: &str) -> Vec<Violation> {
+    let class = classify(path);
+    let lines = scanner::scan(text);
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<Violation>, rule: Rule, line: usize, excerpt: &str| {
+        out.push(Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            excerpt: excerpt.trim().chars().take(120).collect(),
+        });
+    };
+
+    for (idx, scanned) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let raw = text.lines().nth(idx).unwrap_or_default();
+        let code = &scanned.code;
+
+        // R1: unwrap/expect in product library code (outside tests).
+        if class == FileClass::ProductLib
+            && !scanned.in_cfg_test
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+        {
+            push(&mut out, Rule::NoUnwrap, lineno, raw);
+        }
+
+        // R2: unseeded RNG anywhere outside test code.
+        if class != FileClass::Test
+            && !scanned.in_cfg_test
+            && (code.contains("thread_rng") || code.contains("rand::random"))
+        {
+            push(&mut out, Rule::NoUnseededRng, lineno, raw);
+        }
+
+        // R4: stdout noise in product library code.
+        if class == FileClass::ProductLib
+            && !scanned.in_cfg_test
+            && (code.contains("println!") || code.contains("print!(") || code.contains("dbg!("))
+        {
+            push(&mut out, Rule::NoPrintInLib, lineno, raw);
+        }
+
+        // R5: to-do/fixme markers need an issue reference on the line.
+        let comment = &scanned.comment;
+        if (comment.contains("TODO") || comment.contains("FIXME")) && !has_issue_ref(comment) {
+            push(&mut out, Rule::TodoNeedsIssue, lineno, raw);
+        }
+    }
+
+    // R3: crate-root hygiene (doc header + forbid(unsafe_code)).
+    if is_crate_root(path) || path == "crates/xtask/src/lib.rs" {
+        let first_meaningful = lines
+            .iter()
+            .map(|l| l.code.trim())
+            .zip(text.lines())
+            .find(|(code, _)| !code.is_empty() || !lines.is_empty());
+        let starts_with_doc = text
+            .lines()
+            .find(|l| !l.trim().is_empty())
+            .is_some_and(|l| l.trim_start().starts_with("//!"));
+        if !starts_with_doc {
+            push(
+                &mut out,
+                Rule::CrateRootHygiene,
+                1,
+                "crate root missing leading //! doc header",
+            );
+        }
+        if !text.contains("#![forbid(unsafe_code)]") {
+            push(
+                &mut out,
+                Rule::CrateRootHygiene,
+                1,
+                "crate root missing #![forbid(unsafe_code)]",
+            );
+        }
+        let _ = first_meaningful;
+    }
+
+    out
+}
+
+/// A TODO is acceptable when it cites an issue number like `#123`.
+fn has_issue_ref(comment: &str) -> bool {
+    let bytes = comment.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'#' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            classify("crates/netgraph/src/graph.rs"),
+            FileClass::ProductLib
+        );
+        assert_eq!(classify("src/lib.rs"), FileClass::ProductLib);
+        assert_eq!(classify("src/bin/broker_cli.rs"), FileClass::Bin);
+        assert_eq!(classify("crates/netgraph/tests/csr.rs"), FileClass::Test);
+        assert_eq!(classify("benches/coverage.rs"), FileClass::Bench);
+        assert_eq!(classify("examples/quickstart.rs"), FileClass::Example);
+        assert_eq!(classify("crates/xtask/src/rules.rs"), FileClass::SupportLib);
+    }
+
+    #[test]
+    fn r1_fires_in_lib_not_in_tests() {
+        let src = "\
+//! doc
+#![forbid(unsafe_code)]
+pub fn f(x: Option<u32>) -> u32 { x.unwrap() }
+#[cfg(test)]
+mod tests {
+    fn t() { Some(1).unwrap(); }
+}
+";
+        let v = check_file("crates/netgraph/src/lib.rs", src);
+        let r1: Vec<_> = v.iter().filter(|v| v.rule == Rule::NoUnwrap).collect();
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r1[0].line, 3);
+    }
+
+    #[test]
+    fn r1_ignores_strings_comments_and_bins() {
+        let src = "// call .unwrap() later\nlet s = \".unwrap()\";\n";
+        assert!(check_file("crates/routing/src/x.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::NoUnwrap));
+        let src = "fn main() { std::env::args().next().unwrap(); }";
+        assert!(check_file("src/bin/cli.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::NoUnwrap));
+    }
+
+    #[test]
+    fn r2_fires_outside_tests() {
+        let src = "let mut rng = rand::thread_rng();";
+        let v = check_file("crates/topology/src/x.rs", src);
+        assert!(v.iter().any(|v| v.rule == Rule::NoUnseededRng));
+        // Exempt inside #[cfg(test)].
+        let src = "#[cfg(test)]\nmod t { fn f() { let r = rand::thread_rng(); } }";
+        let v = check_file("crates/topology/src/x.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoUnseededRng));
+        // Benches are NOT exempt: they must seed for reproducibility.
+        let src = "let x = rand::random::<u64>();";
+        let v = check_file("benches/b.rs", src);
+        assert!(v.iter().any(|v| v.rule == Rule::NoUnseededRng));
+    }
+
+    #[test]
+    fn r3_checks_crate_roots_only() {
+        let bad = "pub fn f() {}\n";
+        let v = check_file("crates/routing/src/lib.rs", bad);
+        assert_eq!(
+            v.iter()
+                .filter(|v| v.rule == Rule::CrateRootHygiene)
+                .count(),
+            2,
+            "missing header AND missing forbid"
+        );
+        assert!(check_file("crates/routing/src/paths.rs", bad)
+            .iter()
+            .all(|v| v.rule != Rule::CrateRootHygiene));
+        let good = "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(check_file("crates/routing/src/lib.rs", good)
+            .iter()
+            .all(|v| v.rule != Rule::CrateRootHygiene));
+    }
+
+    #[test]
+    fn r4_fires_in_lib_only() {
+        let src = "pub fn f() { println!(\"x\"); }";
+        assert!(check_file("crates/economics/src/x.rs", src)
+            .iter()
+            .any(|v| v.rule == Rule::NoPrintInLib));
+        assert!(check_file("src/bin/cli.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::NoPrintInLib));
+    }
+
+    #[test]
+    fn r5_requires_issue_ref() {
+        let v = check_file("crates/netgraph/src/x.rs", "// TODO: fix this\n");
+        assert!(v.iter().any(|v| v.rule == Rule::TodoNeedsIssue));
+        let v = check_file("crates/netgraph/src/x.rs", "// TODO(#42): fix this\n");
+        assert!(v.iter().all(|v| v.rule != Rule::TodoNeedsIssue));
+        // A marker inside a string is code, not a comment -> no violation.
+        let v = check_file("crates/netgraph/src/x.rs", "let s = \"TODO later\";\n");
+        assert!(v.iter().all(|v| v.rule != Rule::TodoNeedsIssue));
+    }
+
+    #[test]
+    fn rule_ids_roundtrip() {
+        for r in [
+            Rule::NoUnwrap,
+            Rule::NoUnseededRng,
+            Rule::CrateRootHygiene,
+            Rule::NoPrintInLib,
+            Rule::TodoNeedsIssue,
+        ] {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+            assert!(!r.describe().is_empty());
+        }
+        assert_eq!(Rule::from_id("R9"), None);
+    }
+}

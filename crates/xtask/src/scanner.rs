@@ -1,0 +1,286 @@
+//! Lightweight lexical pass over a Rust source file.
+//!
+//! Produces, per line, the code with string literals and comments blanked
+//! (for code-side rules) plus the comment text (for comment-side rules),
+//! and marks which lines sit inside `#[cfg(test)]` brace regions.
+//!
+//! This is deliberately not a full parser: it understands line/block
+//! comments (including nesting), plain and raw strings, char literals vs
+//! lifetimes, and brace depth — enough to make the R1-R5 rules precise on
+//! this codebase without a rustc dependency.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct ScannedLine {
+    /// Source text with comments and string/char literal *contents*
+    /// blanked out (structure preserved, so offsets still line up).
+    pub code: String,
+    /// Concatenated comment text on this line (line, block, and doc).
+    pub comment: String,
+    /// Whether the line is inside (or opens) a `#[cfg(test)]` region.
+    pub in_cfg_test: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    BlockComment,
+    Str,
+    RawStr { hashes: usize },
+}
+
+/// Scan a whole file into per-line code/comment channels.
+pub fn scan(text: &str) -> Vec<ScannedLine> {
+    let mut lines = Vec::new();
+    let mut mode = Mode::Code;
+    let mut block_depth = 0usize;
+
+    // #[cfg(test)] region tracking: after the attribute is seen, the next
+    // `{` opens an exempt region that ends when its brace closes.
+    let mut brace_depth = 0i64;
+    let mut pending_cfg_test = false;
+    let mut cfg_test_until: Option<i64> = None;
+
+    for raw in text.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        // Latched per line: a region that both opens and closes on this
+        // line (e.g. `mod t { ... }` after the attribute) still counts.
+        let mut line_in_test = cfg_test_until.is_some();
+
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        // Line comment (incl. /// and //!) to end of line.
+                        comment.push_str(&chars[i..].iter().collect::<String>());
+                        code.push(' ');
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment;
+                        block_depth = 1;
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    }
+                    'r' if matches!(next, Some('"' | '#')) && is_raw_string_start(&chars, i) => {
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            code.push('r');
+                            code.push('"');
+                            mode = Mode::RawStr { hashes };
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal closes with
+                        // a quote after one (possibly escaped) char.
+                        if let Some(len) = char_literal_len(&chars, i) {
+                            code.push('\'');
+                            code.push(' ');
+                            code.push('\'');
+                            i += len;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    '{' => {
+                        brace_depth += 1;
+                        if pending_cfg_test {
+                            pending_cfg_test = false;
+                            cfg_test_until = Some(brace_depth - 1);
+                            line_in_test = true;
+                        }
+                        code.push('{');
+                        i += 1;
+                    }
+                    '}' => {
+                        brace_depth -= 1;
+                        if let Some(limit) = cfg_test_until {
+                            if brace_depth <= limit {
+                                cfg_test_until = None;
+                            }
+                        }
+                        code.push('}');
+                        i += 1;
+                    }
+                    c => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                Mode::BlockComment => {
+                    if c == '*' && next == Some('/') {
+                        block_depth -= 1;
+                        i += 2;
+                        if block_depth == 0 {
+                            mode = Mode::Code;
+                        }
+                    } else if c == '/' && next == Some('*') {
+                        block_depth += 1;
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => match c {
+                    '\\' => i += 2,
+                    '"' => {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                Mode::RawStr { hashes } => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        // Unterminated string at EOL: plain strings don't span lines in
+        // valid code unless escaped; treat conservatively as continuing.
+
+        if mode == Mode::Code && code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let in_test = line_in_test || cfg_test_until.is_some() || pending_cfg_test;
+        lines.push(ScannedLine {
+            code,
+            comment,
+            in_cfg_test: in_test,
+        });
+    }
+    lines
+}
+
+/// Whether `r` at `i` starts a raw string (vs. an identifier ending in r).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = chars[i - 1];
+    !(prev.is_alphanumeric() || prev == '_')
+}
+
+/// Length of a char literal starting at `i` (which holds `'`), or `None`
+/// if this is a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped char: find the closing quote.
+            let mut j = i + 2;
+            if matches!(chars.get(j), Some('x')) {
+                j += 2;
+            } else if matches!(chars.get(j), Some('u')) {
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                return Some(j - i + 1);
+            }
+            j += 1;
+            (chars.get(j) == Some(&'\'')).then_some(j - i + 1)
+        }
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_blanked() {
+        let lines = scan("let x = \"unwrap()\"; // call unwrap() here\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("unwrap() here"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let lines = scan("a /* x /* y */ z */ b\ncode");
+        assert!(lines[0].code.contains('a'));
+        assert!(!lines[0].code.contains('b') || lines[0].code.ends_with("b"));
+        assert!(lines[1].code.contains("code"));
+    }
+
+    #[test]
+    fn multiline_block_comment() {
+        let lines = scan("before /* comment\nstill comment unwrap()\n*/ after");
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[1].comment.contains("unwrap"));
+        assert!(lines[2].code.contains("after"));
+    }
+
+    #[test]
+    fn raw_strings_blanked() {
+        let lines = scan("let s = r#\"has unwrap() inside\"#; call();");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("call();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lines[0].code.contains("str"));
+        // A real char literal gets blanked.
+        let lines = scan("let c = 'x'; let s = \"y\"; done();");
+        assert!(lines[0].code.contains("done();"));
+        assert!(!lines[0].code.contains('x'));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked() {
+        let src = "\
+fn lib_code() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn more_lib() {}
+";
+        let lines = scan(src);
+        assert!(!lines[0].in_cfg_test);
+        assert!(lines[1].in_cfg_test, "attribute line starts the region");
+        assert!(lines[2].in_cfg_test);
+        assert!(lines[3].in_cfg_test);
+        assert!(lines[4].in_cfg_test, "closing brace still in region");
+        assert!(!lines[5].in_cfg_test);
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let lines = scan(r#"let s = "a\"unwrap()\"b"; next();"#);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("next();"));
+    }
+}

@@ -1,0 +1,121 @@
+//! The lint gate itself, run as part of the ordinary test suite:
+//!
+//! 1. the shipped tree is clean under R1-R5,
+//! 2. the allowlist only shrinks (burn down, never re-grow),
+//! 3. a seeded violation makes `xtask lint` exit nonzero.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::{find_workspace_root, lint_workspace, Allowlist};
+
+/// The current number of accepted pre-existing violations. When you fix
+/// one, decrement this; adding entries is a review-visible change here.
+const ALLOWLIST_CEILING: usize = 8;
+
+fn repo_root() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root above xtask")
+}
+
+#[test]
+fn shipped_tree_is_clean() {
+    let report = lint_workspace(&repo_root()).expect("lint run");
+    assert!(
+        report.is_clean(),
+        "lint violations in the shipped tree:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale allowlist entries (the violation they covered is gone — delete them):\n{}",
+        report.stale_allows.join("\n")
+    );
+    assert!(report.files_scanned > 50, "scanned a real tree");
+}
+
+#[test]
+fn allowlist_never_grows() {
+    let text = std::fs::read_to_string(repo_root().join("crates/xtask/lint.allow"))
+        .expect("lint.allow present");
+    let allow = Allowlist::parse(&text);
+    assert!(
+        allow.len() <= ALLOWLIST_CEILING,
+        "allowlist grew to {} entries (ceiling {}): fix new violations instead of suppressing them",
+        allow.len(),
+        ALLOWLIST_CEILING
+    );
+}
+
+/// Build a miniature workspace containing one seeded violation per rule
+/// and check the binary reports them and exits nonzero.
+#[test]
+fn seeded_violations_fail_the_binary() {
+    let dir = std::env::temp_dir().join(format!("xtask-lint-seeded-{}", std::process::id()));
+    let src = dir.join("crates/netgraph/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    // lib.rs violates R3 (no doc header, no forbid) and R1/R2/R4/R5.
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(x: Option<u32>) -> u32 {\n    // TODO make this lazy\n    println!(\"{:?}\", rand::thread_rng());\n    x.unwrap()\n}\n",
+    )
+    .expect("seeded source");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run xtask binary");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "seeded tree must fail the lint, got:\n{stdout}"
+    );
+    for rule in ["R1", "R2", "R3", "R4", "R5"] {
+        assert!(stdout.contains(rule), "{rule} missing from:\n{stdout}");
+    }
+
+    // And the JSON mode agrees.
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--json", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run xtask binary");
+    assert!(!out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"violations\""), "json report:\n{json}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A clean miniature workspace exits zero.
+#[test]
+fn clean_tree_passes_the_binary() {
+    let dir = std::env::temp_dir().join(format!("xtask-lint-clean-{}", std::process::id()));
+    let src = dir.join("crates/netgraph/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    std::fs::write(
+        src.join("lib.rs"),
+        "//! A tidy crate.\n#![forbid(unsafe_code)]\n\n/// Doubles.\npub fn f(x: u32) -> u32 {\n    x * 2\n}\n",
+    )
+    .expect("clean source");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run xtask binary");
+    assert!(
+        out.status.success(),
+        "clean tree must pass:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -53,8 +53,7 @@ fn main() {
     println!("  alliance profit  = {:.2}", eq.leader_utility);
     println!(
         "  tier-2 adoption  = {:.3}, tier-3 adoption = {:.3}",
-        eq.adoptions[0],
-        eq.adoptions[99]
+        eq.adoptions[0], eq.adoptions[99]
     );
 
     // --- 2. Hire employees -----------------------------------------------------

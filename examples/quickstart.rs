@@ -32,7 +32,10 @@ fn main() {
     let k = ((n as f64 * 0.068).round() as usize).max(1);
     let sel = max_subgraph_greedy(net.graph(), k);
     let curve = lhop_curve(net.graph(), sel.brokers(), 8, SourceMode::Exact);
-    println!("\nl-hop E2E connectivity of the {}-broker alliance:", sel.len());
+    println!(
+        "\nl-hop E2E connectivity of the {}-broker alliance:",
+        sel.len()
+    );
     for (i, f) in curve.fractions.iter().enumerate() {
         println!("  l = {} : {:>6.2}%", i + 1, 100.0 * f);
     }

@@ -15,9 +15,7 @@
 //! Run with: `cargo run --release --example video_cdn_planning`
 
 use broker_net::prelude::*;
-use broker_net::routing::{
-    stitch_path, valley_free_path, LatencyModel, PolicyGraph,
-};
+use broker_net::routing::{stitch_path, valley_free_path, LatencyModel, PolicyGraph};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -85,15 +83,11 @@ fn main() {
     );
     if !hop_overhead.is_empty() {
         let mean_hops = hop_overhead.iter().sum::<f64>() / hop_overhead.len() as f64;
-        println!(
-            "mean hop overhead of supervision vs BGP default: {mean_hops:+.2} hops"
-        );
+        println!("mean hop overhead of supervision vs BGP default: {mean_hops:+.2} hops");
     }
     if !latency_ratio.is_empty() {
         let mean_ratio = latency_ratio.iter().sum::<f64>() / latency_ratio.len() as f64;
-        println!(
-            "mean latency ratio (brokered / default):          {mean_ratio:.3}"
-        );
+        println!("mean latency ratio (brokered / default):          {mean_ratio:.3}");
         println!(
             "(ratios near 1.0 mean supervision is nearly free — the paper's\n\
              'minimal path inflation' finding, Table 4)"

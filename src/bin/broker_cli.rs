@@ -6,6 +6,7 @@
 //! broker-cli select    <snapshot.json> <alg> <k>     select brokers (prints ranks)
 //! broker-cli eval      <snapshot.json> <alg> <k>     saturated + l-hop connectivity
 //! broker-cli export    <snapshot.json> <out.dot> [k] DOT dump, brokers highlighted
+//! broker-cli audit     <snapshot.json> [alg] [k]      invariant audit (exit 1 on findings)
 //! ```
 //!
 //! Algorithms: `maxsg`, `greedy`, `approx`, `db`, `prb`, `ixpb`, `tier1`.
@@ -13,7 +14,7 @@
 use brokerset::{
     approx_mcbg, degree_based, greedy_mcb, ixp_based, lhop_curve, max_subgraph_greedy,
     pagerank_based, ranked_brokers, saturated_connectivity, tier1_only, ApproxConfig,
-    BrokerSelection, SourceMode,
+    BrokerSelection, CoverageCertificate, SourceMode, Validate,
 };
 use topology::{load_snapshot, save_snapshot, Internet, InternetConfig, Scale};
 
@@ -46,6 +47,7 @@ usage:
   broker-cli select   <snapshot.json> <alg> <k>
   broker-cli eval     <snapshot.json> <alg> <k>
   broker-cli export   <snapshot.json> <out.dot> [k]
+  broker-cli audit    <snapshot.json> [alg] [k]
 algorithms: maxsg greedy approx db prb ixpb tier1";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -61,7 +63,11 @@ fn run(args: &[String]) -> Result<(), String> {
             let out = args.get(3).ok_or("missing output path")?;
             let net = InternetConfig::scaled(scale).generate(seed);
             save_snapshot(&net, out).map_err(|e| e.to_string())?;
-            say!("wrote {} nodes / {} edges to {out}", net.graph().node_count(), net.graph().edge_count());
+            say!(
+                "wrote {} nodes / {} edges to {out}",
+                net.graph().node_count(),
+                net.graph().edge_count()
+            );
             Ok(())
         }
         "stats" => {
@@ -76,7 +82,10 @@ fn run(args: &[String]) -> Result<(), String> {
             for row in ranked_brokers(&net, &sel).iter().take(25) {
                 say!(
                     "  #{:<4} {:<5} {:<26} degree {}",
-                    row.rank, row.category, row.name, row.degree
+                    row.rank,
+                    row.category,
+                    row.name,
+                    row.degree
                 );
             }
             if sel.len() > 25 {
@@ -99,7 +108,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let mode = if g.node_count() <= 2000 {
                 SourceMode::Exact
             } else {
-                SourceMode::Sampled { count: 800, seed: 1 }
+                SourceMode::Sampled {
+                    count: 800,
+                    seed: 1,
+                }
             };
             let curve = lhop_curve(g, sel.brokers(), 6, mode);
             for (i, f) in curve.fractions.iter().enumerate() {
@@ -126,6 +138,31 @@ fn run(args: &[String]) -> Result<(), String> {
             std::fs::write(out, dot).map_err(|e| e.to_string())?;
             say!("wrote DOT to {out}");
             Ok(())
+        }
+        "audit" => {
+            let net = load(args.get(1))?;
+            let mut rep = brokerset::AuditReport::new("broker-cli audit");
+            rep.absorb(net.audit());
+            if let Some(alg) = args.get(2) {
+                let sel = select(&net, Some(alg), args.get(3))?;
+                rep.absorb(sel.audit());
+                let cert = CoverageCertificate::sampled(net.graph(), &sel, 200, 1);
+                say!(
+                    "re-verifying {} sampled coverage claims for {} {}-broker selection",
+                    cert.pair_count(),
+                    sel.algorithm(),
+                    sel.len()
+                );
+                rep.absorb(cert.audit());
+            }
+            say!("{rep}");
+            if rep.is_ok() {
+                Ok(())
+            } else {
+                // Plain failure, not a usage error: report, skip USAGE.
+                eprintln!("audit failed: {} invariant(s) violated", rep.findings.len());
+                std::process::exit(1);
+            }
         }
         other => Err(format!("unknown command '{other}'")),
     }

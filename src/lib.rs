@@ -57,7 +57,7 @@ pub mod prelude {
         approx_mcbg, greedy_mcb, lhop_curve, max_subgraph_greedy, saturated_connectivity,
         ApproxConfig, BrokerSelection, SourceMode,
     };
-    pub use netgraph::{Graph, NodeId, NodeSet};
+    pub use netgraph::{AuditReport, Graph, NodeId, NodeSet, Validate};
     pub use topology::{Internet, InternetConfig, NodeKind, Scale};
 }
 
@@ -105,6 +105,27 @@ impl BrokeragePlan {
     /// The topology this plan was computed for.
     pub fn internet(&self) -> &Internet {
         &self.internet
+    }
+}
+
+impl netgraph::Validate for BrokeragePlan {
+    /// End-to-end audit of a plan: the topology invariants, the
+    /// selection's internal consistency, and a sampled re-verification
+    /// that pairs counted into `saturated_connectivity` really are joined
+    /// by B-dominating paths.
+    fn audit(&self) -> netgraph::AuditReport {
+        use brokerset::CoverageCertificate;
+        let mut rep = netgraph::AuditReport::new("broker_net::BrokeragePlan");
+        rep.absorb(self.internet.audit());
+        rep.absorb(self.selection.audit());
+        let cert = CoverageCertificate::sampled(self.internet.graph(), &self.selection, 64, 1);
+        rep.absorb(cert.audit());
+        rep.check(
+            "plan.connectivity-fraction",
+            (0.0..=1.0).contains(&self.saturated_connectivity),
+            || format!("fraction {} outside [0, 1]", self.saturated_connectivity),
+        );
+        rep
     }
 }
 

@@ -24,7 +24,11 @@ fn full_cli_workflow() {
         .args(["generate", "tiny", "7", snap.to_str().unwrap()])
         .output()
         .expect("spawn generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(snap.exists());
 
     // stats
@@ -57,7 +61,12 @@ fn full_cli_workflow() {
 
     // export with highlighted brokers
     let out = cli()
-        .args(["export", snap.to_str().unwrap(), dot.to_str().unwrap(), "10"])
+        .args([
+            "export",
+            snap.to_str().unwrap(),
+            dot.to_str().unwrap(),
+            "10",
+        ])
         .output()
         .expect("spawn export");
     assert!(out.status.success());
@@ -93,7 +102,10 @@ fn cli_rejects_bad_input() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
 
     // Missing snapshot.
-    let out = cli().args(["stats", "/definitely/missing.json"]).output().unwrap();
+    let out = cli()
+        .args(["stats", "/definitely/missing.json"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -163,7 +163,10 @@ fn economics_pipeline_consumes_measured_coverage() {
     // Shapley ordering can differ from selection order).
     let first = shapley.values[0];
     let mean = shapley.values.iter().sum::<f64>() / shapley.values.len() as f64;
-    assert!(first >= mean - 1e-9, "first broker {first} below mean {mean}");
+    assert!(
+        first >= mean - 1e-9,
+        "first broker {first} below mean {mean}"
+    );
     for &v in &shapley.values {
         assert!(v >= -1e-9, "negative Shapley share {v}");
     }

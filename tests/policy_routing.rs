@@ -22,7 +22,10 @@ fn directionality_ordering() {
     let (net, sel) = setup();
     let g = net.graph();
     let pg = PolicyGraph::new(&net);
-    let mode = SourceMode::Sampled { count: 150, seed: 3 };
+    let mode = SourceMode::Sampled {
+        count: 150,
+        seed: 3,
+    };
 
     let bidir = saturated_connectivity(g, sel.brokers()).fraction;
     let vf_free = directional_connectivity(&pg, None, mode).fraction;
@@ -38,7 +41,10 @@ fn directionality_ordering() {
 fn conversion_sweep_is_monotone() {
     let (net, sel) = setup();
     let pg = PolicyGraph::new(&net);
-    let mode = SourceMode::Sampled { count: 150, seed: 3 };
+    let mode = SourceMode::Sampled {
+        count: 150,
+        seed: 3,
+    };
     let mut last = directional_connectivity(&pg, Some(sel.brokers()), mode).fraction;
     for frac in [0.25, 0.5, 1.0] {
         let mut converted = pg.clone();
@@ -75,7 +81,9 @@ fn stitched_path_latency_is_accountable() {
     for (u, v) in [(0u32, 900u32), (3, 500), (10, 1000), (100, 800)] {
         let (u, v) = (NodeId(u), NodeId(v));
         if let Some(p) = stitch_path(g, sel.brokers(), u, v) {
-            let qos = model.path_latency(&p.path).expect("stitched paths use real edges");
+            let qos = model
+                .path_latency(&p.path)
+                .expect("stitched paths use real edges");
             assert!(qos > 0.0);
             found += 1;
             // Compare against the BGP-style default when one exists.

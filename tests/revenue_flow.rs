@@ -8,8 +8,7 @@
 use broker_net::prelude::*;
 use broker_net::routing::stitch_path;
 use economics::{
-    account_path, nash_bargain, AggregateLedger, BargainConfig, CustomerAs, StackelbergGame,
-    Tariff,
+    account_path, nash_bargain, AggregateLedger, BargainConfig, CustomerAs, StackelbergGame, Tariff,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -48,7 +47,11 @@ fn alliance_is_profitable_over_stitched_traffic() {
         beta: 4,
     })
     .expect("valid bargain");
-    assert!(bargain.agreement, "no employee agreement at price {}", eq.price);
+    assert!(
+        bargain.agreement,
+        "no employee agreement at price {}",
+        eq.price
+    );
 
     let tariff = Tariff {
         broker_price: eq.price,
@@ -74,7 +77,11 @@ fn alliance_is_profitable_over_stitched_traffic() {
         }
         ledger.add(account_path(&tariff, path.hops(), path.hired_employees()));
     }
-    assert!(ledger.paths > 300, "too few routable pairs: {}", ledger.paths);
+    assert!(
+        ledger.paths > 300,
+        "too few routable pairs: {}",
+        ledger.paths
+    );
     assert!(
         ledger.profit > 0.0,
         "alliance loses money over sampled traffic: {ledger:?}"

@@ -1,0 +1,154 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! range/tuple/collection strategies, and the `prop_assert*` /
+//! `prop_assume!` macros. Case generation is deterministic (seeded from
+//! the test name and case index), and there is no shrinking — a failing
+//! case reports its inputs verbatim instead.
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{Config as ProptestConfig, TestRng};
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+    /// Strategy constructors under the conventional `prop::` alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declare deterministic property tests.
+///
+/// ```no_run
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let name_seed = $crate::test_runner::fnv1a(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::deterministic(name_seed ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let inputs = format!(
+                        concat!($("\n  ", stringify!($arg), " = {:?}",)*),
+                        $(&$arg,)*
+                    );
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body Ok(()) })();
+                    if let Err(message) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}{}",
+                            stringify!($name), case + 1, config.cases, message, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fail the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("prop_assert failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "prop_assert failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fail the case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "prop_assert_eq failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "prop_assert_eq failed: {} == {} ({})\n  left: {:?}\n  right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Fail the case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "prop_assert_ne failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "prop_assert_ne failed: {} != {} ({})\n  both: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)+), l
+            ));
+        }
+    }};
+}
+
+/// Skip the current case when its precondition does not hold.
+///
+/// The real proptest resamples; this stand-in counts the case as passed,
+/// which preserves soundness (never hides a failure) at some coverage
+/// cost on sparse preconditions.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}

@@ -1,0 +1,142 @@
+//! Distribution sampling (`rand::distributions` subset).
+
+use crate::{Rng, RngCore};
+
+/// Types that produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WeightedError {
+    /// The weight collection was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..weights.len()` proportionally to the weights,
+/// via a cumulative table and binary search.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Build from any iterator of non-negative finite weights.
+    ///
+    /// # Errors
+    ///
+    /// [`WeightedError`] when empty, containing an invalid weight, or
+    /// summing to zero.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Into<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w: f64 = w.into();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = rng.gen_range(0.0..self.total);
+        // partition_point: first index whose cumulative weight exceeds x.
+        // Zero-weight entries have cumulative[i] == cumulative[i - 1] and
+        // can never be selected (x < cumulative[i] picks the first match).
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Splitmix(u64);
+    impl RngCore for Splitmix {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(
+            WeightedIndex::new(Vec::<f64>::new()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0, -2.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+    }
+
+    #[test]
+    fn proportional_sampling() {
+        let dist = WeightedIndex::new([1.0f64, 0.0, 3.0]).unwrap();
+        let mut rng = Splitmix(42);
+        let mut counts = [0u32; 3];
+        for _ in 0..8000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero weight must never be drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.2..4.0).contains(&ratio), "ratio {ratio} not near 3");
+    }
+
+    #[test]
+    fn integer_weights_accepted() {
+        let dist = WeightedIndex::new([1u32, 2, 3]).unwrap();
+        let mut rng = Splitmix(7);
+        for _ in 0..100 {
+            assert!(dist.sample(&mut rng) < 3);
+        }
+    }
+}

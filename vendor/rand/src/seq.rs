@@ -1,0 +1,106 @@
+//! Slice sampling helpers (`rand::seq` subset).
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices: in-place shuffling and element choice.
+pub trait SliceRandom {
+    /// Element type of the underlying slice.
+    type Item;
+
+    /// Fisher-Yates shuffle (same traversal order as `rand 0.8`:
+    /// high index down to 1, partner drawn from `0..=i`).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+}
+
+/// Random operations on iterators (`rand::seq::IteratorRandom` subset).
+pub trait IteratorRandom: Iterator + Sized {
+    /// Uniformly random element via reservoir sampling (size 1).
+    fn choose<R: RngCore + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+        let mut chosen = None;
+        for (seen, item) in self.enumerate() {
+            if Rng::gen_range(rng, 0..seen + 1) == 0 {
+                chosen = Some(item);
+            }
+        }
+        chosen
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0 ^ (self.0 >> 29)
+        }
+    }
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: [u8; 8]) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Lcg::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements staying sorted is ~impossible");
+    }
+
+    #[test]
+    fn choose_empty_and_singleton() {
+        let mut rng = Lcg::seed_from_u64(2);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert_eq!([42u32].choose(&mut rng), Some(&42));
+    }
+
+    #[test]
+    fn iterator_choose_uniformish() {
+        let mut rng = Lcg::seed_from_u64(5);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            let x = (0..4u32).choose(&mut rng).unwrap();
+            counts[x as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((600..1400).contains(&c), "counts skewed: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The self-describing value tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+
+/// A JSON-shaped value tree.
+///
+/// Numbers keep three representations so integers survive round-trips
+/// exactly: [`Value::Int`] for signed, [`Value::UInt`] for values above
+/// `i64::MAX`, and [`Value::Float`] for everything fractional. Equality
+/// compares numerically across the three.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer above `i64::MAX` (or written by unsigned types).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A `Null` to lend out when an object key is absent (lets `Option`
+/// fields tolerate missing keys without allocating).
+pub static NULL: Value = Value::Null;
+
+/// Look up `key` in object entries, lending [`static@NULL`] when absent.
+pub fn field<'a>(entries: &'a [(String, Value)], key: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+impl Value {
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(63) => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(n) => u64::try_from(n).ok(),
+            Value::UInt(n) => Some(n),
+            Value::Float(f) if f.fract() == 0.0 && f >= 0.0 && f < 2f64.powi(64) => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object entries in insertion order.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field or array index access; `None` on shape mismatch.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.get_in(self)
+    }
+
+    /// Short tag for diagnostics ("object", "array", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Array(a), Array(b)) => a == b,
+            (Object(a), Object(b)) => a == b,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                // Numeric variants compare by value (5, 5u64, 5.0 equal).
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+/// Polymorphic index for [`Value::get`].
+pub trait ValueIndex {
+    /// Resolve the lookup inside `v`.
+    fn get_in<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+}
+
+impl ValueIndex for &str {
+    fn get_in<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_object()?
+            .iter()
+            .find(|(k, _)| k == self)
+            .map(|(_, v)| v)
+    }
+}
+
+impl ValueIndex for usize {
+    fn get_in<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_array()?.get(*self)
+    }
+}
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, index: I) -> &Value {
+        self.get(index).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! impl_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::$variant(v as $conv) }
+        }
+    )*};
+}
+
+impl_from!(
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64, isize => Int as i64,
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64, usize => UInt as u64,
+    f32 => Float as f64, f64 => Float as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+macro_rules! impl_partial_eq_prim {
+    ($($t:ty),* $(,)?) => {$(
+        impl PartialEq<$t> for Value {
+            // Comparing through a temporary Value keeps the numeric
+            // coercion rules in one place; these comparisons only run in
+            // tests, so the allocation-free route isn't worth the
+            // duplication.
+            #[allow(clippy::cmp_owned)]
+            fn eq(&self, other: &$t) -> bool {
+                *self == Value::from(*other)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            #[allow(clippy::cmp_owned)]
+            fn eq(&self, other: &Value) -> bool {
+                *other == Value::from(*self)
+            }
+        }
+    )*};
+}
+
+impl_partial_eq_prim!(i32, i64, u32, u64, usize, f64, bool);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+/// Shape-mismatch error raised while rebuilding typed data from a
+/// [`Value`] tree.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    /// Reverse field path to the failure (innermost first).
+    path: Vec<String>,
+}
+
+impl Error {
+    /// A free-form error.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// "expected X, got Y" shape mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error::new(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Wrap with the name of the field being parsed.
+    #[must_use]
+    pub fn in_field(mut self, name: &str) -> Self {
+        self.path.push(name.to_string());
+        self
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            let mut path: Vec<&str> = self.path.iter().map(String::as_str).collect();
+            path.reverse();
+            write!(f, "at .{}: {}", path.join("."), self.message)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_equality_across_variants() {
+        assert_eq!(Value::Int(5), Value::UInt(5));
+        assert_eq!(Value::Int(5), Value::Float(5.0));
+        assert_ne!(Value::Int(5), Value::Float(5.5));
+        assert_ne!(Value::Int(5), Value::Str("5".into()));
+    }
+
+    #[test]
+    fn get_and_index() {
+        let v = Value::Object(vec![(
+            "xs".to_string(),
+            Value::Array(vec![Value::Int(1), Value::Int(2)]),
+        )]);
+        assert_eq!(v["xs"][1], Value::Int(2));
+        assert!(v.get("missing").is_none());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn error_path_rendering() {
+        let e = Error::new("boom").in_field("inner").in_field("outer");
+        assert_eq!(e.to_string(), "at .outer.inner: boom");
+    }
+}

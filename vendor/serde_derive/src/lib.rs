@@ -1,0 +1,463 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`, since the
+//! build container has no registry access). Supports the shapes the
+//! workspace actually derives on: non-generic structs (unit / tuple /
+//! named) and enums whose variants are unit, tuple, or struct-like, using
+//! serde's externally-tagged representation.
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match ident_at(&tokens, i) {
+        Some(k) if k == "struct" || k == "enum" => k,
+        _ => return Err("serde derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = ident_at(&tokens, i).ok_or("serde derive: missing item name")?;
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive stand-in does not support generic type `{name}`"
+        ));
+    }
+
+    if kind == "struct" {
+        match tokens.get(i) {
+            None => Ok(Item::Struct(name, Fields::Unit)),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct(name, Fields::Unit)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct(
+                name,
+                Fields::Named(parse_named_fields(g.stream())?),
+            )),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(
+                Item::Struct(name, Fields::Tuple(count_tuple_fields(g.stream()))),
+            ),
+            Some(tt) => Err(format!(
+                "serde derive: unexpected token after struct name: {tt}"
+            )),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum(name, parse_variants(g.stream())?))
+            }
+            _ => Err("serde derive: expected enum body".into()),
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // (crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` returning field names in order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(tt) => return Err(format!("serde derive: expected field name, got {tt}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde derive: expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advance past one type, stopping at a top-level `,`.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tt in &tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // Tolerate a trailing comma: `(A, B,)` has 2 fields, not 3.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(tt) => return Err(format!("serde derive: expected variant name, got {tt}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant `= expr` up to the next comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while let Some(tt) = tokens.get(i) {
+                if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        variants.push((name, fields));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct(name, fields) => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => obj_expr(names.iter().map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })),
+            };
+            impl_block(
+                name,
+                "Serialize",
+                &format!("fn to_value(&self) -> ::serde::Value {{ {body} }}"),
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),")
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => {obj},",
+                            binds = binds.join(", "),
+                            obj = tagged(v, &payload)
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let payload =
+                            obj_expr(fs.iter().map(|f| {
+                                (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                            }));
+                        format!(
+                            "{name}::{v} {{ {fields} }} => {obj},",
+                            fields = fs.join(", "),
+                            obj = tagged(v, &payload)
+                        )
+                    }
+                })
+                .collect();
+            impl_block(
+                name,
+                "Serialize",
+                &format!(
+                    "fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}",
+                    arms.join(" ")
+                ),
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct(name, fields) => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "if v.is_null() {{ Ok({name}) }} else {{ \
+                     Err(::serde::Error::expected(\"null\", v)) }}"
+                ),
+                Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let arr = v.as_array().ok_or_else(|| \
+                         ::serde::Error::expected(\"array\", v))?; \
+                         if arr.len() != {n} {{ return Err(::serde::Error::new(format!(\
+                         \"expected {n} elements, got {{}}\", arr.len()))); }} \
+                         Ok({name}({items}))",
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::value::field(obj, {f:?}))\
+                             .map_err(|e| e.in_field({f:?}))?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let obj = v.as_object().ok_or_else(|| \
+                         ::serde::Error::expected(\"object\", v))?; \
+                         Ok({name} {{ {} }})",
+                        inits.join(" ")
+                    )
+                }
+            };
+            impl_block(
+                name,
+                "Deserialize",
+                &format!(
+                    "fn from_value(v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::Error> {{ {body} }}"
+                ),
+            )
+        }
+        Item::Enum(name, variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| {
+                    let build = match fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Tuple(1) => format!(
+                            "return Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(payload)\
+                             .map_err(|e| e.in_field({v:?}))?));"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                                .collect();
+                            format!(
+                                "let arr = payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::expected(\"array\", payload))?; \
+                                 if arr.len() != {n} {{ return Err(::serde::Error::new(\
+                                 format!(\"variant {v} expects {n} elements, got {{}}\", \
+                                 arr.len()))); }} \
+                                 return Ok({name}::{v}({items}));",
+                                items = items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::value::field(obj, {f:?}))\
+                                     .map_err(|e| e.in_field({f:?}))?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "let obj = payload.as_object().ok_or_else(|| \
+                                 ::serde::Error::expected(\"object\", payload))?; \
+                                 return Ok({name}::{v} {{ {} }});",
+                                inits.join(" ")
+                            )
+                        }
+                    };
+                    format!("{v:?} => {{ {build} }}")
+                })
+                .collect();
+            let body = format!(
+                "if let Some(s) = v.as_str() {{ \
+                     match s {{ {units} _ => {{}} }} \
+                     return Err(::serde::Error::new(format!(\
+                     \"unknown variant {{s:?}} of {name}\"))); \
+                 }} \
+                 if let Some(obj) = v.as_object() {{ \
+                     if obj.len() == 1 {{ \
+                         let (tag, payload) = &obj[0]; \
+                         match tag.as_str() {{ {tagged} _ => {{}} }} \
+                         return Err(::serde::Error::new(format!(\
+                         \"unknown variant {{tag:?}} of {name}\"))); \
+                     }} \
+                 }} \
+                 Err(::serde::Error::expected(\"{name} variant\", v))",
+                units = unit_arms.join(" "),
+                tagged = tagged_arms.join(" ")
+            );
+            impl_block(
+                name,
+                "Deserialize",
+                &format!(
+                    "fn from_value(v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::Error> {{ {body} }}"
+                ),
+            )
+        }
+    }
+}
+
+fn tagged(variant: &str, payload: &str) -> String {
+    format!("::serde::Value::Object(vec![({variant:?}.to_string(), {payload})])")
+}
+
+fn obj_expr(entries: impl Iterator<Item = (String, String)>) -> String {
+    let items: Vec<String> = entries
+        .map(|(k, v)| format!("({k:?}.to_string(), {v})"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn impl_block(name: &str, trait_name: &str, body: &str) -> String {
+    format!("#[automatically_derived] impl ::serde::{trait_name} for {name} {{ {body} }}")
+}

@@ -1,0 +1,325 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! JSON text encoding/decoding for the vendored `serde` stand-in's
+//! [`Value`] tree: [`to_string`], [`to_string_pretty`], [`to_vec`],
+//! [`to_writer`], [`from_str`], [`from_reader`], and a [`json!`] macro.
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+pub use serde::Value;
+
+mod parse;
+
+/// Encoding or decoding failure.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize to compact JSON text.
+///
+/// # Errors
+///
+/// Currently infallible for tree-shaped data; the `Result` mirrors the
+/// real crate's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to human-indented JSON text (2-space indent).
+///
+/// # Errors
+///
+/// See [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+///
+/// # Errors
+///
+/// See [`to_string`].
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize compact JSON into a writer.
+///
+/// # Errors
+///
+/// I/O errors from the writer, reported as [`Error`].
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::new(e.to_string()))
+}
+
+/// Parse JSON text into any `Deserialize` type.
+///
+/// # Errors
+///
+/// Syntax errors and shape mismatches.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text).map_err(Error::new)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parse JSON from a reader into any `Deserialize` type.
+///
+/// # Errors
+///
+/// I/O errors, syntax errors, and shape mismatches.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::new(e.to_string()))?;
+    from_str(&text)
+}
+
+/// Convert any `Serialize` type into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; `Result` mirrors the real crate.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuild a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Shape mismatches.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(f) => write_f64(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        if f == f.trunc() && f.abs() < 1e15 {
+            // Keep a fractional marker so floats re-parse as floats.
+            let _ = write!(out, "{f:.1}");
+        } else {
+            // Rust's shortest round-trip formatting.
+            let _ = write!(out, "{f}");
+        }
+    } else {
+        // JSON has no NaN/Infinity; the real crate writes null too.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Build a [`Value`] with JSON-literal syntax:
+/// `json!({"k": [1, 2.5, "s", true, null]})`.
+#[macro_export]
+macro_rules! json {
+    // Internal array muncher: builds up `[elem, elem,]` one value at a
+    // time so element expressions may span many token trees.
+    (@arr [$($elems:expr,)*]) => { $crate::Value::Array(vec![$($elems,)*]) };
+    (@arr [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json!(@arr [$($elems,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@arr [$($elems:expr,)*] [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json!(@arr [$($elems,)* $crate::json!([$($inner)*]),] $($($rest)*)?)
+    };
+    (@arr [$($elems:expr,)*] {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json!(@arr [$($elems,)* $crate::json!({$($inner)*}),] $($($rest)*)?)
+    };
+    (@arr [$($elems:expr,)*] $next:expr , $($rest:tt)*) => {
+        $crate::json!(@arr [$($elems,)* $crate::Value::from($next),] $($rest)*)
+    };
+    (@arr [$($elems:expr,)*] $last:expr) => {
+        $crate::json!(@arr [$($elems,)* $crate::Value::from($last),])
+    };
+    // Internal object muncher: keys are literals, values are arbitrary
+    // expressions or nested JSON literals.
+    (@obj [$($pairs:expr,)*]) => { $crate::Value::Object(vec![$($pairs,)*]) };
+    (@obj [$($pairs:expr,)*] $key:tt : null $(, $($rest:tt)*)?) => {
+        $crate::json!(@obj [$($pairs,)* ($key.to_string(), $crate::Value::Null),] $($($rest)*)?)
+    };
+    (@obj [$($pairs:expr,)*] $key:tt : [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json!(@obj [$($pairs,)* ($key.to_string(), $crate::json!([$($inner)*])),] $($($rest)*)?)
+    };
+    (@obj [$($pairs:expr,)*] $key:tt : {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json!(@obj [$($pairs,)* ($key.to_string(), $crate::json!({$($inner)*})),] $($($rest)*)?)
+    };
+    (@obj [$($pairs:expr,)*] $key:tt : $val:expr , $($rest:tt)*) => {
+        $crate::json!(@obj [$($pairs,)* ($key.to_string(), $crate::Value::from($val)),] $($rest)*)
+    };
+    (@obj [$($pairs:expr,)*] $key:tt : $val:expr) => {
+        $crate::json!(@obj [$($pairs,)* ($key.to_string(), $crate::Value::from($val)),])
+    };
+    // Entry points.
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json!(@arr [] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json!(@obj [] $($tt)*) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = json!({
+            "name": "broker",
+            "k": [25, 247],
+            "sat": [0.51, 0.88],
+            "flag": true,
+            "missing": null
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let text = to_string(&2.0f64).unwrap();
+        assert_eq!(text, "2.0");
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn escapes() {
+        let s = "line\n\"quoted\"\tand\\slash".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn writer_and_reader() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &vec![1u32, 2, 3]).unwrap();
+        let back: Vec<u32> = from_reader(&buf[..]).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
