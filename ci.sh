@@ -34,6 +34,12 @@ fi
 
 run cargo run --offline -q -p xtask -- lint
 
+# Determinism gate: the parallel executors must be bit-identical to their
+# sequential counterparts at every thread count. Run explicitly (they are
+# also part of the workspace suite) so a violation is named, not buried.
+run cargo test --offline -q -p netgraph --test determinism
+run cargo test --offline -q -p brokerset --test determinism
+
 run cargo test --offline -q --workspace
 
 echo "==> CI gate passed"

@@ -1,10 +1,11 @@
-//! Micro-benchmarks of the hot kernels: BFS, dominated components,
-//! coverage gain, and the l-hop connectivity evaluator.
+//! Micro-benchmarks of the hot kernels: BFS (pooled vs allocating),
+//! dominated components, coverage gain, and the l-hop connectivity
+//! evaluator (sequential vs parallel).
 
 use brokerset::{greedy_mcb, lhop_curve, saturated_connectivity, CoverageState, SourceMode};
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use netgraph::{Bfs, NodeId};
+use netgraph::{with_arena, FullView, NodeId, TraversalArena};
 use topology::{InternetConfig, Scale};
 
 fn kernels(c: &mut Criterion) {
@@ -13,9 +14,25 @@ fn kernels(c: &mut Criterion) {
     let n = g.node_count();
     let sel = greedy_mcb(&g, n / 15);
 
-    c.bench_function("bfs_full_graph", |b| {
-        let mut bfs = Bfs::new(n);
-        b.iter(|| bfs.run(&g, NodeId(0)))
+    // Steady-state engine cost: the arena is reused across runs, so the
+    // only per-run work is the epoch bump and the wavefront itself.
+    c.bench_function("bfs_arena_reused", |b| {
+        let mut arena = TraversalArena::with_capacity(n);
+        b.iter(|| arena.run(FullView::new(&g), NodeId(0)))
+    });
+
+    // Same traversal but paying the full allocation cost every run —
+    // the baseline the pooled arena is meant to beat.
+    c.bench_function("bfs_arena_fresh", |b| {
+        b.iter(|| {
+            let mut arena = TraversalArena::new();
+            arena.run(FullView::new(&g), NodeId(0))
+        })
+    });
+
+    // Thread-local pool path used by the library call sites.
+    c.bench_function("bfs_arena_pooled_tls", |b| {
+        b.iter(|| with_arena(|arena| arena.run(FullView::new(&g), NodeId(0))))
     });
 
     c.bench_function("dominated_components", |b| {
@@ -75,5 +92,23 @@ fn kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, kernels);
+/// Exact l-hop evaluation over every source, sequential vs parallel —
+/// the fan-out the deterministic executor exists for.
+fn lhop_exact(c: &mut Criterion) {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(2014);
+    let g = net.graph().clone();
+    let sel = greedy_mcb(&g, g.node_count() / 15);
+
+    let mut group = c.benchmark_group("lhop_exact");
+    group.sample_size(10);
+    group.bench_function("seq", |b| {
+        b.iter(|| brokerset::lhop_curve_parallel(&g, sel.brokers(), 6, SourceMode::Exact, 1))
+    });
+    group.bench_function("par", |b| {
+        b.iter(|| brokerset::lhop_curve_parallel(&g, sel.brokers(), 6, SourceMode::Exact, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, kernels, lhop_exact);
 criterion_main!(benches);

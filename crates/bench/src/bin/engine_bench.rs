@@ -1,0 +1,84 @@
+//! Engine-layer speedup snapshot: arena-pooled vs allocating BFS and
+//! sequential vs parallel exact l-hop evaluation.
+//!
+//! Writes `BENCH_engine.json` at the repo root (wall-clock medians plus
+//! the derived speedups) so the numbers travel with the tree. Unlike the
+//! criterion benches this runs in seconds and exercises `--threads`.
+//!
+//! Usage: `engine_bench [tiny|quarter|full] [seed] [--threads N]`
+
+use bench::{header, RunConfig};
+use brokerset::{max_subgraph_greedy, SourceMode};
+use netgraph::{FullView, NodeId, TraversalArena};
+use std::time::Instant;
+
+/// Median wall-clock seconds over `reps` runs of `f`.
+fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let rc = RunConfig::from_args();
+    let net = rc.internet();
+    let g = net.graph();
+    let n = g.node_count();
+    header("engine_bench", "traversal engine speedup snapshot");
+
+    let sel = max_subgraph_greedy(g, rc.budgets(n)[2]);
+    let threads = netgraph::par::resolve_threads(rc.threads);
+
+    // BFS: pooled arena (steady state, zero allocation) vs a fresh arena
+    // per run (what every deleted ad-hoc BFS used to pay).
+    let sweep = 200.min(n);
+    let mut arena = TraversalArena::with_capacity(n);
+    let pooled = median_secs(5, || {
+        for s in 0..sweep {
+            arena.run(FullView::new(g), NodeId(s as u32));
+        }
+    });
+    let fresh = median_secs(5, || {
+        for s in 0..sweep {
+            let mut a = TraversalArena::new();
+            a.run(FullView::new(g), NodeId(s as u32));
+        }
+    });
+
+    // Exact l-hop curve: the executor's headline fan-out.
+    let seq = median_secs(3, || {
+        brokerset::lhop_curve_parallel(g, sel.brokers(), 6, SourceMode::Exact, 1)
+    });
+    let par = median_secs(3, || {
+        brokerset::lhop_curve_parallel(g, sel.brokers(), 6, SourceMode::Exact, threads)
+    });
+
+    let bfs_speedup = fresh / pooled;
+    let lhop_speedup = seq / par;
+    println!("  bfs {sweep}-source sweep   pooled {pooled:.4}s  fresh {fresh:.4}s  speedup {bfs_speedup:.2}x");
+    println!("  exact l-hop curve     seq {seq:.4}s  par({threads}) {par:.4}s  speedup {lhop_speedup:.2}x");
+
+    let data = serde_json::json!({
+        "nodes": n,
+        "brokers": sel.len(),
+        "threads": threads,
+        "bfs_sweep_sources": sweep,
+        "bfs_pooled_s": pooled,
+        "bfs_fresh_s": fresh,
+        "bfs_pooled_speedup": bfs_speedup,
+        "lhop_exact_seq_s": seq,
+        "lhop_exact_par_s": par,
+        "lhop_parallel_speedup": lhop_speedup,
+    });
+    let record = bench::ExperimentRecord::new("engine_bench", &rc, data);
+    let json = serde_json::to_string_pretty(&record).expect("serialize bench record");
+    let path = std::path::Path::new("BENCH_engine.json");
+    std::fs::write(path, json).expect("write BENCH_engine.json");
+    println!("  wrote {}", path.display());
+}

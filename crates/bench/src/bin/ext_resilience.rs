@@ -3,11 +3,12 @@
 //! Targeted defection of the founding members versus random failures,
 //! and the recovery achievable with greedy replacement recruiting.
 //!
-//! Usage: `ext_resilience [tiny|quarter|full] [seed]`
+//! Usage: `ext_resilience [tiny|quarter|full] [seed] [--threads N]`
 
 use bench::{header, pct, RunConfig};
 use brokerset::{
-    failure_trace, greedy_repair, max_subgraph_greedy, saturated_connectivity, FailureOrder,
+    failure_trace_threaded, greedy_repair, max_subgraph_greedy, saturated_connectivity,
+    FailureOrder,
 };
 use netgraph::NodeSet;
 use rand::SeedableRng;
@@ -24,14 +25,21 @@ fn main() {
     );
 
     let sel = max_subgraph_greedy(g, rc.budgets(n)[2]);
-    let targeted = failure_trace(g, &sel, FailureOrder::TargetedBySelectionRank, 10);
-    let random = failure_trace(
+    let targeted = failure_trace_threaded(
+        g,
+        &sel,
+        FailureOrder::TargetedBySelectionRank,
+        10,
+        rc.threads,
+    );
+    let random = failure_trace_threaded(
         g,
         &sel,
         FailureOrder::Random {
             seed: rc.seed ^ 0xfa11,
         },
         10,
+        rc.threads,
     );
 
     println!("{:<10} {:<12} {:<12}", "removed", "targeted", "random");

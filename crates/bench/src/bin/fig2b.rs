@@ -5,9 +5,9 @@
 //! ("ASesWithIXPs"). Two panels are printed: the saturated connectivity
 //! as the broker budget grows, and the l-hop curves at the 6.8 % budget.
 //!
-//! Usage: `fig2b [tiny|quarter|full] [seed]`
+//! Usage: `fig2b [tiny|quarter|full] [seed] [--threads N]`
 
-use bench::curve;
+use bench::curve_threaded;
 use bench::{header, pct, RunConfig};
 use brokerset::{
     approx_mcbg, degree_based, ixp_based, max_subgraph_greedy, pagerank_based,
@@ -97,7 +97,7 @@ fn main() {
         (1..=6).map(|l| format!("l={l:<7}")).collect::<String>()
     );
     for (name, set) in all {
-        let curve = curve(g, set, 6, mode);
+        let curve = curve_threaded(g, set, 6, mode, rc.threads);
         let cells: String = curve
             .fractions
             .iter()

@@ -7,13 +7,13 @@
 //! the paper: 30 % conversion brings a 1,000-broker set to 72.5 % and the
 //! 3,540-alliance to 84.68 %.
 //!
-//! Usage: `fig5bc [tiny|quarter|full] [seed]`
+//! Usage: `fig5bc [tiny|quarter|full] [seed] [--threads N]`
 
 use bench::{header, pct, RunConfig};
 use brokerset::{max_subgraph_greedy, saturated_connectivity};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use routing::{directional_connectivity, PolicyGraph};
+use routing::{directional_connectivity_threaded, PolicyGraph};
 
 fn main() {
     let rc = RunConfig::from_args();
@@ -37,13 +37,19 @@ fn main() {
     for &k in &budgets[1..] {
         let sel = run.truncated(k);
         let bidir = saturated_connectivity(g, sel.brokers()).fraction;
-        let dir = directional_connectivity(&pg, Some(sel.brokers()), mode).fraction;
+        let dir =
+            directional_connectivity_threaded(&pg, Some(sel.brokers()), mode, rc.threads).fraction;
         let mut cells = String::new();
         for frac in [0.1, 0.3, 1.0] {
             let mut converted = pg.clone();
             let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ (frac * 1000.0) as u64);
             converted.convert_interbroker_to_peering(sel.brokers(), frac, &mut rng);
-            let rep = directional_connectivity(&converted, Some(sel.brokers()), mode);
+            let rep = directional_connectivity_threaded(
+                &converted,
+                Some(sel.brokers()),
+                mode,
+                rc.threads,
+            );
             cells.push_str(&format!("{:<10}", pct(rep.fraction)));
         }
         println!(

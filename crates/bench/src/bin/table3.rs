@@ -7,9 +7,9 @@
 //! topology's pair distances saturate — the (α, β) structure Algorithm 2
 //! relies on.
 //!
-//! Usage: `table3 [tiny|quarter|full] [seed]`
+//! Usage: `table3 [tiny|quarter|full] [seed] [--threads N]`
 
-use bench::curve;
+use bench::curve_threaded;
 use bench::{header, pct, RunConfig};
 use netgraph::{barabasi_albert, erdos_renyi_gnm, watts_strogatz, Graph, NodeSet};
 use rand::SeedableRng;
@@ -49,11 +49,12 @@ fn main() {
         (1..=max_l).map(|l| format!("l={l:<7}")).collect::<String>()
     );
     for (name, graph) in rows {
-        let curve = curve(
+        let curve = curve_threaded(
             graph,
             &NodeSet::full(graph.node_count()),
             max_l,
             rc.source_mode(),
+            rc.threads,
         );
         let cells: String = curve
             .fractions

@@ -12,20 +12,33 @@ use brokerset::SourceMode;
 use topology::{Internet, InternetConfig, Scale};
 
 /// Parsed command line shared by all experiment binaries:
-/// `<bin> [tiny|quarter|full] [seed]`.
+/// `<bin> [tiny|quarter|full] [seed] [--threads N]`.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
     /// Topology scale.
     pub scale: Scale,
     /// Generator seed.
     pub seed: u64,
+    /// Worker threads for the parallel evaluators (`0` = all hardware
+    /// threads). Results are identical at every setting.
+    pub threads: usize,
 }
 
 impl RunConfig {
-    /// Parse from `std::env::args`. Defaults: quarter scale, seed 2014.
+    /// Parse from `std::env::args`. Defaults: quarter scale, seed 2014,
+    /// all hardware threads. `--threads N` may appear anywhere.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let scale = match args.get(1).map(String::as_str) {
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        let mut threads = 0usize;
+        if let Some(i) = args.iter().position(|a| a == "--threads") {
+            let value = args.get(i + 1).cloned();
+            match value.as_deref().map(str::parse) {
+                Some(Ok(n)) => threads = n,
+                _ => eprintln!("--threads expects a number, using auto"),
+            }
+            args.drain(i..(i + 2).min(args.len()));
+        }
+        let scale = match args.first().map(String::as_str) {
             Some("full") => Scale::Full,
             Some("tiny") => Scale::Tiny,
             Some("quarter") | None => Scale::Quarter,
@@ -34,8 +47,12 @@ impl RunConfig {
                 Scale::Quarter
             }
         };
-        let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2014);
-        RunConfig { scale, seed }
+        let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2014);
+        RunConfig {
+            scale,
+            seed,
+            threads,
+        }
     }
 
     /// Generate the topology for this run.
@@ -92,7 +109,18 @@ pub fn curve(
     max_l: usize,
     mode: SourceMode,
 ) -> brokerset::connectivity::LhopCurve {
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    curve_threaded(g, brokers, max_l, mode, 0)
+}
+
+/// Evaluate an l-hop curve on an explicit worker count (`0` = all
+/// hardware threads); output is identical at every setting.
+pub fn curve_threaded(
+    g: &netgraph::Graph,
+    brokers: &netgraph::NodeSet,
+    max_l: usize,
+    mode: SourceMode,
+    threads: usize,
+) -> brokerset::connectivity::LhopCurve {
     brokerset::lhop_curve_parallel(g, brokers, max_l, mode, threads)
 }
 
@@ -163,6 +191,7 @@ mod tests {
         let rc = RunConfig {
             scale: Scale::Full,
             seed: 1,
+            threads: 0,
         };
         let b = rc.budgets(52_079);
         assert_eq!(b, [99, 990, 3541]);
@@ -181,6 +210,7 @@ mod tests {
         let rc = RunConfig {
             scale: Scale::Tiny,
             seed: 9,
+            threads: 0,
         };
         let rec = ExperimentRecord::new(
             "table1",

@@ -15,12 +15,11 @@
 //!   error reported.
 
 use netgraph::components::Components;
-use netgraph::{Graph, NodeId, NodeSet, UnionFind};
+use netgraph::{with_arena, DominatedView, Graph, NodeId, NodeSet, UnionFind};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// How to choose BFS sources for l-hop evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,21 +71,23 @@ pub(crate) fn sample_sources(g: &Graph, mode: SourceMode) -> Vec<NodeId> {
 /// sample: Bessel-corrected sample variance with the finite-population
 /// correction `(1 - m/n)`.
 ///
-/// Returns 0.0 when the sample is exhaustive (`m == population`) and
-/// `f64::INFINITY` for a single sample (the error is unknowable, and
-/// reporting 0.0 would be indistinguishable from an exact run).
-pub fn sample_std_error(values: &[f64], population: usize) -> f64 {
+/// Returns `Some(0.0)` when the sample is exhaustive (`m == population`)
+/// and `None` for a single sample — the error is unknowable there, and
+/// `serde_json` would serialize the old `f64::INFINITY` sentinel as
+/// `null` anyway, so the option is the honest (and round-trippable)
+/// encoding.
+pub fn sample_std_error(values: &[f64], population: usize) -> Option<f64> {
     let m = values.len();
     if m >= population {
-        return 0.0;
+        return Some(0.0);
     }
     if m < 2 {
-        return f64::INFINITY;
+        return None;
     }
     let mean = values.iter().sum::<f64>() / m as f64;
     let var = values.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (m - 1) as f64;
     let fpc = 1.0 - m as f64 / population as f64;
-    (var * fpc / m as f64).sqrt()
+    Some((var * fpc / m as f64).sqrt())
 }
 
 /// Per-source dominated-edge BFS over `sources`, returning the cumulative
@@ -101,44 +102,21 @@ pub(crate) fn run_sources(
     let n = g.node_count();
     let mut cum = vec![0u64; max_l];
     let mut finals = Vec::with_capacity(sources.len());
-    let mut dist = vec![u32::MAX; n];
-    let mut touched: Vec<usize> = Vec::new();
-    let mut queue = VecDeque::new();
-    for &s in sources {
-        for &t in &touched {
-            dist[t] = u32::MAX;
-        }
-        touched.clear();
-        queue.clear();
-        dist[s.index()] = 0;
-        touched.push(s.index());
-        queue.push_back(s);
-        let mut reached_at = vec![0u64; max_l];
-        while let Some(u) = queue.pop_front() {
-            let du = dist[u.index()];
-            if du as usize >= max_l {
-                continue;
+    let view = DominatedView::new(g, brokers);
+    with_arena(|arena| {
+        for &s in sources {
+            arena.run_bounded(view, s, max_l as u32);
+            // hist[d] = vertices at distance exactly d (d = 0 is the
+            // source itself, excluded from pair counts).
+            let hist = arena.distance_histogram(max_l + 1);
+            let mut acc = 0u64;
+            for (l, slot) in cum.iter_mut().enumerate() {
+                acc += hist[l + 1] as u64;
+                *slot += acc;
             }
-            let u_is_broker = brokers.contains(u);
-            for &v in g.neighbors(u) {
-                if !u_is_broker && !brokers.contains(v) {
-                    continue; // edge not dominated
-                }
-                if dist[v.index()] == u32::MAX {
-                    dist[v.index()] = du + 1;
-                    touched.push(v.index());
-                    reached_at[du as usize] += 1;
-                    queue.push_back(v);
-                }
-            }
+            finals.push(acc as f64 / (n as f64 - 1.0));
         }
-        let mut acc = 0u64;
-        for (l, r) in reached_at.iter().enumerate() {
-            acc += r;
-            cum[l] += acc;
-        }
-        finals.push(acc as f64 / (n as f64 - 1.0));
-    }
+    });
     (cum, finals)
 }
 
@@ -193,8 +171,9 @@ pub fn saturated_connectivity(g: &Graph, brokers: &NodeSet) -> ConnectivityRepor
 pub struct LhopCurve {
     /// Cumulative fractions for l = 1 ..= max_l.
     pub fractions: Vec<f64>,
-    /// One-sigma error of the final point (0 for exact evaluation).
-    pub std_error: f64,
+    /// One-sigma error of the final point: `Some(0.0)` for exact
+    /// evaluation, `None` when unknowable (single-source samples).
+    pub std_error: Option<f64>,
     /// Sources used.
     pub sources: usize,
 }
@@ -219,7 +198,7 @@ pub fn lhop_curve(g: &Graph, brokers: &NodeSet, max_l: usize, mode: SourceMode) 
     if n < 2 || max_l == 0 {
         return LhopCurve {
             fractions: vec![0.0; max_l],
-            std_error: 0.0,
+            std_error: Some(0.0),
             sources: 0,
         };
     }
@@ -304,7 +283,7 @@ mod tests {
         assert!((curve.at(2) - 10.0 / 12.0).abs() < 1e-12);
         assert!((curve.at(3) - 1.0).abs() < 1e-12);
         assert!((curve.at(99) - 1.0).abs() < 1e-12); // saturates
-        assert_eq!(curve.std_error, 0.0);
+        assert_eq!(curve.std_error, Some(0.0));
     }
 
     #[test]
@@ -351,7 +330,7 @@ mod tests {
             exact.at(5),
             sampled.at(5)
         );
-        assert!(sampled.std_error > 0.0);
+        assert!(sampled.std_error.is_some_and(|se| se > 0.0));
         assert_eq!(sampled.sources, 150);
     }
 

@@ -86,7 +86,9 @@ pub use maxsg::max_subgraph_greedy;
 pub use parallel::lhop_curve_parallel;
 pub use pareto::Frontier;
 pub use problem::{BrokerSelection, PathLengthConstraint};
-pub use resilience::{failure_trace, greedy_repair, FailureOrder, ResilienceTrace};
+pub use resilience::{
+    failure_trace, failure_trace_threaded, greedy_repair, FailureOrder, ResilienceTrace,
+};
 pub use sweep::{connectivity_sweep, ConnectivitySweep};
 pub use validate::{AuditReport, CoverageCertificate, Validate};
 pub use weighted::{degree_proxy_weights, greedy_mcb_weighted, WeightedCoverage};

@@ -2,19 +2,23 @@
 //!
 //! The per-source BFS over the dominated edge set is embarrassingly
 //! parallel: sources are independent and the graph is shared read-only.
-//! [`lhop_curve_parallel`] fans the source list out over `std::thread`
-//! scoped threads and merges the per-thread histograms — on the full
-//! 52k-node topology this is the difference between minutes and seconds
-//! for exact curves.
+//! [`lhop_curve_parallel`] fans the source list out through the
+//! deterministic executor in [`netgraph::par`] — on the full 52k-node
+//! topology this is the difference between minutes and seconds for exact
+//! curves.
 
 use crate::connectivity::{run_sources, sample_sources, sample_std_error, LhopCurve, SourceMode};
-use netgraph::{Graph, NodeSet};
+use netgraph::{par, Graph, NodeSet};
 
-/// Parallel version of [`crate::lhop_curve`]; produces *identical*
-/// results for the same inputs (per-source work is deterministic and the
-/// merge is order-insensitive).
+/// Parallel version of [`crate::lhop_curve`]; produces *bit-identical*
+/// results for the same inputs at every thread count: sources are chunked
+/// at a fixed size ([`par::DEFAULT_CHUNK`]), per-chunk partials are merged
+/// in chunk-index order, and the per-source finals feed the error
+/// estimate in source order — exactly as the sequential path does.
 ///
-/// `threads = 0` or `1` falls back to the sequential implementation.
+/// `threads = 0` means all hardware threads
+/// ([`std::thread::available_parallelism`]); worker panics propagate to
+/// the caller.
 pub fn lhop_curve_parallel(
     g: &Graph,
     brokers: &NodeSet,
@@ -22,31 +26,21 @@ pub fn lhop_curve_parallel(
     mode: SourceMode,
     threads: usize,
 ) -> LhopCurve {
-    if threads <= 1 {
-        return crate::connectivity::lhop_curve(g, brokers, max_l, mode);
-    }
     let n = g.node_count();
     if n < 2 || max_l == 0 {
         return LhopCurve {
             fractions: vec![0.0; max_l],
-            std_error: 0.0,
+            std_error: Some(0.0),
             sources: 0,
         };
     }
     let sources = sample_sources(g, mode);
 
-    let chunk = sources.len().div_ceil(threads);
-    // Per-thread partial results: (cum histogram, per-source finals).
-    let partials: Vec<(Vec<u64>, Vec<f64>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = sources
-            .chunks(chunk)
-            .map(|chunk_sources| scope.spawn(move || run_sources(g, brokers, max_l, chunk_sources)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("BFS worker panicked"))
-            .collect()
-    });
+    // Per-chunk partial results: (cum histogram, per-source finals).
+    let partials: Vec<(Vec<u64>, Vec<f64>)> =
+        par::map_chunks(&sources, par::DEFAULT_CHUNK, threads, |chunk| {
+            run_sources(g, brokers, max_l, chunk)
+        });
 
     let mut cum = vec![0u64; max_l];
     let mut finals: Vec<f64> = Vec::with_capacity(sources.len());
@@ -80,7 +74,7 @@ mod tests {
         let g = netgraph::barabasi_albert(400, 3, &mut rng);
         let sel = greedy_mcb(&g, 25);
         let seq = lhop_curve(&g, sel.brokers(), 6, SourceMode::Exact);
-        for threads in [2, 4, 7] {
+        for threads in [0, 2, 4, 7] {
             let par = lhop_curve_parallel(&g, sel.brokers(), 6, SourceMode::Exact, threads);
             assert_eq!(seq.fractions, par.fractions, "threads = {threads}");
             assert_eq!(seq.sources, par.sources);
@@ -99,11 +93,11 @@ mod tests {
         let seq = lhop_curve(&g, sel.brokers(), 5, mode);
         let par = lhop_curve_parallel(&g, sel.brokers(), 5, mode, 4);
         assert_eq!(seq.fractions, par.fractions);
-        assert!((seq.std_error - par.std_error).abs() < 1e-12);
+        assert_eq!(seq.std_error, par.std_error);
     }
 
     #[test]
-    fn single_thread_falls_back() {
+    fn single_thread_matches_sequential() {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
         let g = netgraph::erdos_renyi_gnm(60, 120, &mut rng);
         let sel = greedy_mcb(&g, 5);

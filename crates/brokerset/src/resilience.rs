@@ -8,7 +8,7 @@
 
 use crate::connectivity::saturated_connectivity;
 use crate::problem::BrokerSelection;
-use netgraph::{Graph, NodeId, NodeSet};
+use netgraph::{par, Graph, NodeId, NodeSet};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -57,6 +57,27 @@ pub fn failure_trace(
     order: FailureOrder,
     steps: usize,
 ) -> ResilienceTrace {
+    failure_trace_threaded(g, sel, order, steps, 1)
+}
+
+/// [`failure_trace`] with the per-step connectivity evaluations run on
+/// `threads` workers (`0` = all hardware threads) via [`netgraph::par`].
+///
+/// Each trace point is the saturated connectivity of the broker set minus
+/// a *prefix* of the victim list — a pure function of that prefix — so
+/// the steps are independent and the result is identical to the
+/// sequential trace at every thread count.
+///
+/// # Panics
+///
+/// Panics if `steps == 0`.
+pub fn failure_trace_threaded(
+    g: &Graph,
+    sel: &BrokerSelection,
+    order: FailureOrder,
+    steps: usize,
+    threads: usize,
+) -> ResilienceTrace {
     assert!(steps > 0, "need at least one step");
     let victims: Vec<NodeId> = match order {
         FailureOrder::TargetedBySelectionRank => sel.order().to_vec(),
@@ -68,19 +89,31 @@ pub fn failure_trace(
             v
         }
     };
-    let mut alive: NodeSet = sel.brokers().clone();
-    let mut removed_fraction = vec![0.0];
-    let mut connectivity = vec![saturated_connectivity(g, &alive).fraction];
     let batch = victims.len().div_ceil(steps).max(1);
-    let mut removed = 0usize;
-    for chunk in victims.chunks(batch) {
-        for &v in chunk {
-            alive.remove(v);
-            removed += 1;
-        }
-        removed_fraction.push(removed as f64 / victims.len().max(1) as f64);
-        connectivity.push(saturated_connectivity(g, &alive).fraction);
+    // Victim-prefix length at each trace point: 0, batch, 2·batch, ...,
+    // victims.len() (the last batch may be partial).
+    let mut prefixes: Vec<usize> = vec![0];
+    let mut k = batch;
+    while k < victims.len() {
+        prefixes.push(k);
+        k += batch;
     }
+    if !victims.is_empty() {
+        prefixes.push(victims.len());
+    }
+
+    // Each step is a full components pass — heavy — so fan out per step.
+    let connectivity: Vec<f64> = par::map(&prefixes, 1, threads, |&p| {
+        let mut alive: NodeSet = sel.brokers().clone();
+        for &v in &victims[..p] {
+            alive.remove(v);
+        }
+        saturated_connectivity(g, &alive).fraction
+    });
+    let removed_fraction = prefixes
+        .iter()
+        .map(|&p| p as f64 / victims.len().max(1) as f64)
+        .collect();
     ResilienceTrace {
         removed_fraction,
         connectivity,

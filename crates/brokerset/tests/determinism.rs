@@ -1,0 +1,81 @@
+//! Determinism gate for the broker-set evaluators: parallel entry points
+//! must be bit-identical to their sequential counterparts at every
+//! thread count, so results files never depend on the machine they were
+//! produced on.
+
+use brokerset::{
+    failure_trace, failure_trace_threaded, lhop_curve, lhop_curve_parallel, max_subgraph_greedy,
+    FailureOrder, SourceMode,
+};
+use topology::{InternetConfig, Scale};
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+#[test]
+fn lhop_curve_exact_bit_identical() {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let sel = max_subgraph_greedy(g, 60);
+    let seq = lhop_curve(g, sel.brokers(), 6, SourceMode::Exact);
+    for t in THREADS {
+        let par = lhop_curve_parallel(g, sel.brokers(), 6, SourceMode::Exact, t);
+        assert_eq!(seq, par, "exact l-hop curve diverged at threads={t}");
+    }
+}
+
+#[test]
+fn lhop_curve_sampled_bit_identical() {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let sel = max_subgraph_greedy(g, 60);
+    let mode = SourceMode::Sampled {
+        count: 300,
+        seed: 9,
+    };
+    let seq = lhop_curve(g, sel.brokers(), 6, mode);
+    assert!(seq.std_error.is_some_and(|se| se > 0.0));
+    for t in THREADS {
+        let par = lhop_curve_parallel(g, sel.brokers(), 6, mode, t);
+        // PartialEq on the curve covers fractions AND the Option<f64>
+        // standard error bit for bit.
+        assert_eq!(seq, par, "sampled l-hop curve diverged at threads={t}");
+    }
+}
+
+#[test]
+fn failure_trace_bit_identical() {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let sel = max_subgraph_greedy(g, 60);
+    for order in [
+        FailureOrder::TargetedBySelectionRank,
+        FailureOrder::Random { seed: 5 },
+    ] {
+        let seq = failure_trace(g, &sel, order, 8);
+        for t in THREADS {
+            let par = failure_trace_threaded(g, &sel, order, 8, t);
+            assert_eq!(
+                seq.removed_fraction, par.removed_fraction,
+                "failure fractions diverged at threads={t}"
+            );
+            assert_eq!(
+                seq.connectivity, par.connectivity,
+                "failure connectivity diverged at threads={t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_threads_matches_explicit() {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let sel = max_subgraph_greedy(g, 40);
+    let mode = SourceMode::Sampled {
+        count: 150,
+        seed: 3,
+    };
+    let auto = lhop_curve_parallel(g, sel.brokers(), 5, mode, 0);
+    let one = lhop_curve_parallel(g, sel.brokers(), 5, mode, 1);
+    assert_eq!(auto, one);
+}

@@ -7,7 +7,9 @@
 //! topology we estimate by sampling sources, with the standard-error bound
 //! reported alongside.
 
-use crate::{Bfs, Graph, NodeId};
+use crate::traverse::with_arena;
+use crate::view::FullView;
+use crate::{Graph, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -100,30 +102,24 @@ pub fn hop_histogram_sampled<R: Rng>(g: &Graph, samples: usize, rng: &mut R) -> 
 
 fn histogram_for_sources(g: &Graph, sources: &[NodeId]) -> HopHistogram {
     let n = g.node_count();
-    let mut bfs = Bfs::new(n);
     let mut counts: Vec<u64> = Vec::new();
     let mut unreachable = 0u64;
-    for &s in sources {
-        bfs.run(g, s);
-        let mut reached = 0u64;
-        for v in g.nodes() {
-            if v == s {
-                continue;
-            }
-            match bfs.distance(v) {
-                Some(d) => {
-                    let d = d as usize;
-                    if counts.len() <= d {
-                        counts.resize(d + 1, 0);
-                    }
-                    counts[d] += 1;
-                    reached += 1;
+    with_arena(|arena| {
+        for &s in sources {
+            let reached = arena.run(FullView::new(g), s);
+            unreachable += (n - reached) as u64;
+            for &v in arena.visit_order() {
+                if v == s {
+                    continue;
                 }
-                None => unreachable += 1,
+                let d = arena.distance(v).unwrap_or(0) as usize;
+                if counts.len() <= d {
+                    counts.resize(d + 1, 0);
+                }
+                counts[d] += 1;
             }
         }
-        let _ = reached;
-    }
+    });
     let total = counts.iter().sum::<u64>() + unreachable;
     HopHistogram {
         counts,

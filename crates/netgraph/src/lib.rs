@@ -38,8 +38,12 @@
 //! - [`graph`] — the CSR graph and its builder.
 //! - [`nodeset`] — dense bitset over node ids, the working currency of the
 //!   coverage algorithms.
-//! - [`traverse`] — BFS in all the flavours the paper needs (single source,
-//!   multi source, restricted to an induced subgraph).
+//! - [`view`] — zero-cost graph views (full, broker-dominated, induced,
+//!   failure-masked) the traversal engine is generic over.
+//! - [`traverse`] — the traversal engine: pooled [`TraversalArena`] BFS over
+//!   any view (single source, multi source, bounded, early-exit), plus
+//!   allocating convenience wrappers.
+//! - [`par`] — deterministic parallel executor for per-source fan-out.
 //! - [`mod@dijkstra`] — weighted shortest paths.
 //! - [`components`] — connected components and a union-find.
 //! - [`centrality`] — degree, PageRank, k-core decomposition.
@@ -63,8 +67,10 @@ pub mod gen;
 pub mod graph;
 pub mod metrics;
 pub mod nodeset;
+pub mod par;
 pub mod traverse;
 pub mod validate;
+pub mod view;
 
 pub use alphabeta::{estimate_alpha, hop_histogram, AlphaBetaEstimate, HopHistogram};
 pub use binio::{graph_from_bytes, graph_to_bytes, CodecError};
@@ -76,12 +82,13 @@ pub use export::{to_dot, to_edge_list};
 pub use gen::{barabasi_albert, erdos_renyi_gnm, erdos_renyi_gnp, watts_strogatz};
 pub use graph::{undirected_key, Graph, GraphBuilder, NodeId};
 pub use metrics::{
-    betweenness, closeness, clustering_coefficients, degree_assortativity, degree_stats,
-    diameter_lower_bound, mean_clustering, DegreeStats,
+    betweenness, betweenness_threaded, closeness, closeness_threaded, clustering_coefficients,
+    degree_assortativity, degree_stats, diameter_lower_bound, mean_clustering, DegreeStats,
 };
 pub use nodeset::NodeSet;
 pub use traverse::{
     bfs_distances, bfs_distances_bounded, bfs_parents, multi_source_bfs, restricted_bfs_distances,
-    shortest_path, Bfs,
+    shortest_path, with_arena, TraversalArena,
 };
 pub use validate::{debug_validate, AuditReport, Finding, Validate};
+pub use view::{DominatedView, FullView, GraphView, InducedView, MaskedView};

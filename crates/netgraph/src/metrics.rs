@@ -6,22 +6,37 @@
 //! are what that characterization is made of, and they also power the
 //! betweenness-based selection baseline.
 
-use crate::{Bfs, Graph, NodeId};
+use crate::traverse::{with_arena, TraversalArena};
+use crate::view::FullView;
+use crate::{par, Graph, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Brandes betweenness centrality (unweighted).
 ///
 /// With `sources = None` every vertex seeds a BFS (exact, `O(nm)`);
 /// otherwise only the sampled sources do, giving the standard unbiased
-/// estimate scaled by `n / |sources|`.
+/// estimate scaled by `n / |sources|`. Sequential; see
+/// [`betweenness_threaded`] for the parallel entry point (identical
+/// results by the executor's determinism contract).
 pub fn betweenness<R: Rng>(g: &Graph, sources: Option<usize>, rng: &mut R) -> Vec<f64> {
+    betweenness_threaded(g, sources, rng, 1)
+}
+
+/// [`betweenness`] with the per-source fan-out run on `threads` workers
+/// (`0` = all hardware threads) via [`crate::par`]. Bit-identical across
+/// thread counts: seeds are chunked at a fixed size and per-chunk partial
+/// centrality vectors are merged in chunk-index order.
+pub fn betweenness_threaded<R: Rng>(
+    g: &Graph,
+    sources: Option<usize>,
+    rng: &mut R,
+    threads: usize,
+) -> Vec<f64> {
     let n = g.node_count();
-    let mut centrality = vec![0.0f64; n];
     if n == 0 {
-        return centrality;
+        return Vec::new();
     }
     let seeds: Vec<NodeId> = match sources {
         None => g.nodes().collect(),
@@ -34,50 +49,72 @@ pub fn betweenness<R: Rng>(g: &Graph, sources: Option<usize>, rng: &mut R) -> Ve
     };
     let scale = n as f64 / seeds.len() as f64;
 
-    let mut sigma = vec![0.0f64; n];
-    let mut dist = vec![i32::MAX; n];
-    let mut delta = vec![0.0f64; n];
-    let mut order: Vec<NodeId> = Vec::with_capacity(n);
-    let mut queue = VecDeque::new();
-    for &s in &seeds {
-        // Reset via the visit order of the previous round.
-        for &v in &order {
-            sigma[v.index()] = 0.0;
-            dist[v.index()] = i32::MAX;
-            delta[v.index()] = 0.0;
-        }
-        order.clear();
-        sigma[s.index()] = 1.0;
-        dist[s.index()] = 0;
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
-            order.push(u);
-            for &v in g.neighbors(u) {
-                if dist[v.index()] == i32::MAX {
-                    dist[v.index()] = dist[u.index()] + 1;
-                    queue.push_back(v);
-                }
-                if dist[v.index()] == dist[u.index()] + 1 {
-                    sigma[v.index()] += sigma[u.index()];
-                }
+    let partials: Vec<Vec<f64>> = par::map_chunks(&seeds, par::DEFAULT_CHUNK, threads, |chunk| {
+        let mut centrality = vec![0.0f64; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut delta = vec![0.0f64; n];
+        with_arena(|arena| {
+            for &s in chunk {
+                brandes_source(g, s, scale, arena, &mut sigma, &mut delta, &mut centrality);
             }
-        }
-        // Dependency accumulation in reverse BFS order.
-        for &w in order.iter().rev() {
-            for &v in g.neighbors(w) {
-                if dist[v.index()] + 1 == dist[w.index()] {
-                    delta[v.index()] +=
-                        sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
-                }
-            }
-            if w != s {
-                centrality[w.index()] += scale * delta[w.index()];
-            }
+        });
+        centrality
+    });
+    let mut centrality = vec![0.0f64; n];
+    for part in partials {
+        for (c, p) in centrality.iter_mut().zip(part) {
+            *c += p;
         }
     }
     // Undirected graphs count each pair twice.
     centrality.iter_mut().for_each(|c| *c /= 2.0);
     centrality
+}
+
+/// One Brandes round: BFS from `s` on the engine arena, path counts in
+/// visit order, dependency accumulation in reverse visit order.
+fn brandes_source(
+    g: &Graph,
+    s: NodeId,
+    scale: f64,
+    arena: &mut TraversalArena,
+    sigma: &mut [f64],
+    delta: &mut [f64],
+    centrality: &mut [f64],
+) {
+    arena.run(FullView::new(g), s);
+    let order = arena.visit_order();
+    // Path counts. BFS order guarantees every vertex at distance d - 1 is
+    // processed before any at distance d, so `sigma` of all predecessors
+    // is final when we read it. Stale values from earlier rounds are never
+    // read: predecessors are reached this round, hence assigned below.
+    sigma[s.index()] = 1.0;
+    for &v in &order[1..] {
+        let dv = arena.distance(v).unwrap_or(0);
+        let mut sv = 0.0;
+        for &u in g.neighbors(v) {
+            if arena.distance(u).is_some_and(|du| du + 1 == dv) {
+                sv += sigma[u.index()];
+            }
+        }
+        sigma[v.index()] = sv;
+    }
+    // Dependency accumulation in reverse BFS order.
+    for &w in order.iter().rev() {
+        let dw = arena.distance(w).unwrap_or(0);
+        for &v in g.neighbors(w) {
+            if arena.distance(v).is_some_and(|dv| dv + 1 == dw) {
+                delta[v.index()] += sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+            }
+        }
+        if w != s {
+            centrality[w.index()] += scale * delta[w.index()];
+        }
+    }
+    // Reset only what this round touched; `delta` accumulates with `+=`.
+    for &v in order {
+        delta[v.index()] = 0.0;
+    }
 }
 
 /// Local clustering coefficient of every vertex (triangles over wedges).
@@ -176,6 +213,19 @@ pub fn degree_stats(g: &Graph, tail_fraction: f64) -> DegreeStats {
 /// sampled BFS *targets* — acceptable for ranking, exact when
 /// `sources = None`.
 pub fn closeness<R: Rng>(g: &Graph, sources: Option<usize>, rng: &mut R) -> Vec<f64> {
+    closeness_threaded(g, sources, rng, 1)
+}
+
+/// [`closeness`] with the per-target fan-out run on `threads` workers
+/// (`0` = all hardware threads) via [`crate::par`]. The per-vertex
+/// distance sums are integer-valued, so the chunk-ordered merge is exact
+/// and results match the sequential path bit for bit.
+pub fn closeness_threaded<R: Rng>(
+    g: &Graph,
+    sources: Option<usize>,
+    rng: &mut R,
+    threads: usize,
+) -> Vec<f64> {
     let n = g.node_count();
     if n <= 1 {
         return vec![0.0; n];
@@ -193,18 +243,28 @@ pub fn closeness<R: Rng>(g: &Graph, sources: Option<usize>, rng: &mut R) -> Vec<
         }
     };
     let scale = n as f64 / targets.len() as f64;
-    let mut dist_sum = vec![0.0f64; n];
-    let mut reach_cnt = vec![0u32; n];
-    let mut bfs = Bfs::new(n);
-    for &t in &targets {
-        bfs.run(g, t);
-        for v in g.nodes() {
-            if let Some(d) = bfs.distance(v) {
-                if v != t {
-                    dist_sum[v.index()] += d as f64;
-                    reach_cnt[v.index()] += 1;
+    let partials = par::map_chunks(&targets, par::DEFAULT_CHUNK, threads, |chunk| {
+        let mut dist_sum = vec![0.0f64; n];
+        let mut reach_cnt = vec![0u32; n];
+        with_arena(|arena| {
+            for &t in chunk {
+                arena.run(FullView::new(g), t);
+                for &v in arena.visit_order() {
+                    if v != t {
+                        dist_sum[v.index()] += arena.distance(v).unwrap_or(0) as f64;
+                        reach_cnt[v.index()] += 1;
+                    }
                 }
             }
+        });
+        (dist_sum, reach_cnt)
+    });
+    let mut dist_sum = vec![0.0f64; n];
+    let mut reach_cnt = vec![0u32; n];
+    for (ds, rc) in partials {
+        for i in 0..n {
+            dist_sum[i] += ds[i];
+            reach_cnt[i] += rc[i];
         }
     }
     (0..n)
@@ -256,16 +316,17 @@ pub fn diameter_lower_bound(g: &Graph) -> Option<u32> {
     if g.is_empty() {
         return None;
     }
-    let mut bfs = Bfs::new(g.node_count());
-    // Sweep 1 from vertex 0 (its component).
-    bfs.run(g, NodeId(0));
-    let far = g
-        .nodes()
-        .filter_map(|v| bfs.distance(v).map(|d| (d, v)))
-        .max()?
-        .1;
-    bfs.run(g, far);
-    g.nodes().filter_map(|v| bfs.distance(v)).max()
+    with_arena(|arena| {
+        // Sweep 1 from vertex 0 (its component).
+        arena.run(FullView::new(g), NodeId(0));
+        let far = g
+            .nodes()
+            .filter_map(|v| arena.distance(v).map(|d| (d, v)))
+            .max()?
+            .1;
+        arena.run(FullView::new(g), far);
+        g.nodes().filter_map(|v| arena.distance(v)).max()
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,188 @@
+//! Deterministic parallel executor for embarrassingly parallel sweeps.
+//!
+//! Every hot path in the evaluation — exact l-hop curves, Brandes
+//! betweenness, resilience failure sweeps — is a map over independent
+//! items (BFS sources, failure steps) whose results are merged. This
+//! module runs such maps over `std::thread::scope` with three guarantees:
+//!
+//! 1. **Determinism independent of thread count.** Items are grouped into
+//!    *fixed-size* chunks (the chunk size does not depend on `threads`)
+//!    and chunk results are merged in chunk-index order. Identical
+//!    chunking + identical merge order means bit-identical output for any
+//!    `threads`, including 1 — floating-point reductions associate the
+//!    same way no matter how many workers ran.
+//! 2. **Panic propagation.** A panicking worker does not poison-and-hang
+//!    the merge: the payload is resumed on the calling thread via
+//!    [`std::panic::resume_unwind`].
+//! 3. **`threads = 0` means auto.** Resolved to
+//!    [`std::thread::available_parallelism`], not a sequential fallback.
+//!
+//! Work is distributed by an atomic chunk counter, so a slow chunk does
+//! not stall the other workers (no static striping); the index-ordered
+//! merge restores determinism afterwards.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default chunk size for source-level fan-out. Small enough to load
+/// balance thousands of BFS sources, large enough to amortize the
+/// per-chunk scratch of heavier kernels (Brandes).
+pub const DEFAULT_CHUNK: usize = 64;
+
+/// Resolve a user-facing thread count: `0` means "use all hardware
+/// threads" ([`std::thread::available_parallelism`]), anything else is
+/// taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// Map fixed-size chunks of `items` through `f` in parallel, returning
+/// the per-chunk results in chunk-index order.
+///
+/// The chunking (and therefore the result) is identical for every value
+/// of `threads`; see the module docs for the determinism contract. A
+/// panic in any worker is re-raised on the calling thread.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`, and re-raises worker panics.
+pub fn map_chunks<T, R, F>(items: &[T], chunk_size: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    let workers = resolve_threads(threads).min(chunks.len()).max(1);
+    if workers <= 1 {
+        return chunks.into_iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(i) else { break };
+                        local.push((i, f(chunk)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                // Re-raise the worker's panic on the calling thread with
+                // its original payload.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let n_chunks = chunks.len();
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n_chunks).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "chunk {i} computed twice");
+        slots[i] = Some(r);
+    }
+    let out: Vec<R> = slots.into_iter().flatten().collect();
+    assert_eq!(out.len(), n_chunks, "a chunk result went missing");
+    out
+}
+
+/// Map each item of `items` through `f` in parallel, returning per-item
+/// results in input order. Built on [`map_chunks`], so the same
+/// determinism contract applies.
+///
+/// # Panics
+///
+/// Re-raises worker panics.
+pub fn map<T, R, F>(items: &[T], chunk_size: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_chunks(items, chunk_size, threads, |chunk| {
+        chunk.iter().map(&f).collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_is_hardware_threads() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn map_preserves_order_for_all_thread_counts() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [0, 1, 2, 4, 7] {
+            let got = map(&items, 17, threads, |&x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_results_arrive_in_chunk_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let sums = map_chunks(&items, 9, threads, |c| c.iter().sum::<usize>());
+            assert_eq!(sums.len(), 100usize.div_ceil(9));
+            assert_eq!(sums[0], (0..9).sum::<usize>());
+            assert_eq!(sums.iter().sum::<usize>(), (0..100).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn float_merge_is_bit_identical_across_thread_counts() {
+        // Sums that are sensitive to association order: identical
+        // chunking + ordered merge must make them bit-identical.
+        let items: Vec<f64> = (0..5000).map(|i| 1.0 / (i as f64 + 0.1)).collect();
+        let reduce = |threads: usize| -> f64 {
+            map_chunks(&items, DEFAULT_CHUNK, threads, |c| c.iter().sum::<f64>())
+                .into_iter()
+                .sum()
+        };
+        let base = reduce(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(base.to_bits(), reduce(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = Vec::new();
+        assert!(map(&items, 8, 4, |&x| x).is_empty());
+        assert!(map_chunks(&items, 8, 4, |c| c.len()).is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            map(&items, 4, 4, |&x| {
+                assert!(x != 33, "boom on {x}");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic swallowed by the executor");
+    }
+}

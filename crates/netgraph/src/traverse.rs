@@ -1,43 +1,83 @@
-//! Breadth-first traversal in the flavours the paper's evaluation needs.
+//! The traversal engine: pooled BFS arenas over [`GraphView`]s.
 //!
-//! - [`bfs_distances`] — plain single-source hop distances.
-//! - [`bfs_distances_bounded`] — stop past a hop budget (used by the
-//!   (α, β) estimator).
-//! - [`multi_source_bfs`] — distances to the nearest of a set of sources.
-//! - [`restricted_bfs_distances`] — BFS that never leaves an induced
-//!   subgraph; this realizes the paper's `B_A · A` masked-adjacency
-//!   operator (Section 5.2) without materializing matrix powers: a path
-//!   confined to `B ∪ N(B)` is exactly a B-dominated path.
-//! - [`bfs_parents`] / [`shortest_path`] — parent trees and path
-//!   extraction for Algorithm 2's broker stitching.
+//! Every traversal in the workspace — plain reachability, B-dominated
+//! l-hop evaluation, failure-masked resilience sweeps, valley-free state
+//! walks — runs through one kernel: [`TraversalArena`] doing BFS over a
+//! [`GraphView`]. Views supply the filtering (see [`crate::view`]); the
+//! arena supplies reusable scratch so per-source traversals allocate
+//! nothing in steady state.
+//!
+//! ## Arena reuse contract
+//!
+//! An arena may be reused across runs, views and graphs of different
+//! sizes; every `run_*` method resets it. Results
+//! ([`TraversalArena::distance`], [`TraversalArena::parent`],
+//! [`TraversalArena::visit_order`]) are valid until the next `run_*`
+//! call. Resets are O(1): the visited set is epoch-stamped (one `u32`
+//! compare per query) rather than cleared. [`with_arena`] hands out a
+//! thread-local pooled arena, so callers in parallel workers get
+//! zero-allocation traversals without plumbing scratch through their
+//! signatures.
+//!
+//! Convenience wrappers (allocating, for one-shot use and doctests):
+//! [`bfs_distances`], [`bfs_distances_bounded`], [`multi_source_bfs`],
+//! [`restricted_bfs_distances`], [`bfs_parents`], [`shortest_path`].
 
+use crate::view::{FullView, GraphView, InducedView};
 use crate::{Graph, NodeId, NodeSet};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
-/// Reusable BFS scratch space.
+/// Reusable BFS scratch: distances, an epoch-stamped visited set, the
+/// queue, a parent array and the visit order.
 ///
 /// Repeated traversals (the connectivity evaluator runs thousands) reuse
-/// the queue and distance buffers instead of reallocating per source.
+/// the buffers instead of reallocating per source; see the module docs
+/// for the reuse contract.
 #[derive(Debug, Clone)]
-pub struct Bfs {
+pub struct TraversalArena {
     dist: Vec<u32>,
+    parent: Vec<NodeId>,
     queue: VecDeque<NodeId>,
+    order: Vec<NodeId>,
     epoch: u32,
     seen: Vec<u32>,
+    track_parents: bool,
 }
 
-impl Bfs {
-    /// Scratch space for graphs with `n` vertices.
-    pub fn new(n: usize) -> Self {
-        Bfs {
+impl Default for TraversalArena {
+    fn default() -> Self {
+        TraversalArena::new()
+    }
+}
+
+impl TraversalArena {
+    /// An empty arena; buffers grow to fit the first view traversed.
+    pub fn new() -> Self {
+        TraversalArena::with_capacity(0)
+    }
+
+    /// An arena pre-sized for views with `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        TraversalArena {
             dist: vec![0; n],
+            parent: vec![NodeId(0); n],
             queue: VecDeque::new(),
+            order: Vec::new(),
             epoch: 0,
             seen: vec![0; n],
+            track_parents: false,
         }
     }
 
-    fn begin(&mut self) {
+    fn begin(&mut self, n: usize, track_parents: bool) {
+        if self.seen.len() < n {
+            self.dist.resize(n, 0);
+            self.parent.resize(n, NodeId(0));
+            // New entries carry epoch 0, which never equals the current
+            // epoch (it is at least 1 after the bump below).
+            self.seen.resize(n, 0);
+        }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Epoch wrapped: reset the lazily-invalidated `seen` marks.
@@ -45,15 +85,21 @@ impl Bfs {
             self.epoch = 1;
         }
         self.queue.clear();
+        self.order.clear();
+        self.track_parents = track_parents;
     }
 
     #[inline]
-    fn mark(&mut self, v: NodeId, d: u32) -> bool {
+    fn mark(&mut self, v: NodeId, d: u32, parent: NodeId) -> bool {
         if self.seen[v.index()] == self.epoch {
             false
         } else {
             self.seen[v.index()] = self.epoch;
             self.dist[v.index()] = d;
+            if self.track_parents {
+                self.parent[v.index()] = parent;
+            }
+            self.order.push(v);
             true
         }
     }
@@ -67,50 +113,38 @@ impl Bfs {
         (self.epoch != 0 && self.seen[v.index()] == self.epoch).then(|| self.dist[v.index()])
     }
 
-    /// Run BFS from `src`; afterwards query with [`Bfs::distance`].
-    /// Returns the number of reached vertices (including `src`).
-    pub fn run(&mut self, g: &Graph, src: NodeId) -> usize {
-        self.run_bounded(g, src, u32::MAX)
+    /// Predecessor of `v` in the last parent-tracking traversal
+    /// ([`TraversalArena::run_parents`] /
+    /// [`TraversalArena::run_to_target`]); the source is its own parent.
+    /// `None` if `v` was not reached or parents were not tracked.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        (self.track_parents && self.epoch != 0 && self.seen[v.index()] == self.epoch)
+            .then(|| self.parent[v.index()])
     }
 
-    /// BFS from `src`, not expanding past `max_depth` hops.
-    /// Returns the number of reached vertices (including `src`).
-    pub fn run_bounded(&mut self, g: &Graph, src: NodeId, max_depth: u32) -> usize {
-        self.begin();
-        self.mark(src, 0);
-        self.queue.push_back(src);
-        let mut reached = 1usize;
-        while let Some(u) = self.queue.pop_front() {
-            let du = self.dist[u.index()];
-            if du >= max_depth {
-                continue;
-            }
-            for &v in g.neighbors(u) {
-                if self.mark(v, du + 1) {
-                    reached += 1;
-                    self.queue.push_back(v);
-                }
-            }
-        }
-        reached
+    /// Vertices of the last traversal in visit (BFS) order, sources
+    /// first. Empty until a traversal runs.
+    pub fn visit_order(&self) -> &[NodeId] {
+        &self.order
     }
 
-    /// BFS from `src` that only visits vertices in `allowed`.
-    ///
-    /// `src` itself must be in `allowed`; otherwise nothing is reached and
-    /// `0` is returned. Returns the number of reached vertices.
-    pub fn run_restricted(
-        &mut self,
-        g: &Graph,
-        src: NodeId,
-        allowed: &NodeSet,
-        max_depth: u32,
-    ) -> usize {
-        self.begin();
-        if !allowed.contains(src) {
+    /// BFS over `view` from `src`; afterwards query with
+    /// [`TraversalArena::distance`]. Returns the number of reached
+    /// vertices (including `src`), or 0 when the view excludes `src`.
+    pub fn run<V: GraphView>(&mut self, view: V, src: NodeId) -> usize {
+        self.run_bounded(view, src, u32::MAX)
+    }
+
+    /// BFS over `view` from `src`, not expanding past `max_depth` hops.
+    /// Returns the number of reached vertices (including `src`), or 0
+    /// when the view excludes `src`.
+    pub fn run_bounded<V: GraphView>(&mut self, view: V, src: NodeId, max_depth: u32) -> usize {
+        self.begin(view.node_count(), false);
+        if !view.contains_node(src) {
             return 0;
         }
-        self.mark(src, 0);
+        self.mark(src, 0, src);
         self.queue.push_back(src);
         let mut reached = 1usize;
         while let Some(u) = self.queue.pop_front() {
@@ -118,56 +152,163 @@ impl Bfs {
             if du >= max_depth {
                 continue;
             }
-            for &v in g.neighbors(u) {
-                if allowed.contains(v) && self.mark(v, du + 1) {
+            view.for_each_neighbor(u, |v| {
+                if self.mark(v, du + 1, u) {
                     reached += 1;
                     self.queue.push_back(v);
                 }
-            }
+            });
         }
         reached
     }
 
-    /// Multi-source BFS; distances are to the nearest source.
-    /// Returns the number of reached vertices.
-    pub fn run_multi<I: IntoIterator<Item = NodeId>>(&mut self, g: &Graph, sources: I) -> usize {
-        self.begin();
+    /// Multi-source BFS over `view`; distances are to the nearest source.
+    /// Sources the view excludes are skipped. Returns the number of
+    /// reached vertices.
+    pub fn run_multi<V: GraphView, I: IntoIterator<Item = NodeId>>(
+        &mut self,
+        view: V,
+        sources: I,
+    ) -> usize {
+        self.begin(view.node_count(), false);
         let mut reached = 0usize;
         for s in sources {
-            if self.mark(s, 0) {
+            if view.contains_node(s) && self.mark(s, 0, s) {
                 reached += 1;
                 self.queue.push_back(s);
             }
         }
         while let Some(u) = self.queue.pop_front() {
             let du = self.dist[u.index()];
-            for &v in g.neighbors(u) {
-                if self.mark(v, du + 1) {
+            view.for_each_neighbor(u, |v| {
+                if self.mark(v, du + 1, u) {
                     reached += 1;
                     self.queue.push_back(v);
                 }
-            }
+            });
         }
         reached
     }
 
+    /// Full-tree parent-tracking BFS over `view` from `src`; afterwards
+    /// query [`TraversalArena::parent`] / [`TraversalArena::path_to`].
+    /// Returns the number of reached vertices (0 when the view excludes
+    /// `src`).
+    pub fn run_parents<V: GraphView>(&mut self, view: V, src: NodeId) -> usize {
+        self.begin(view.node_count(), true);
+        if !view.contains_node(src) {
+            return 0;
+        }
+        self.mark(src, 0, src);
+        self.queue.push_back(src);
+        let mut reached = 1usize;
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            view.for_each_neighbor(u, |v| {
+                if self.mark(v, du + 1, u) {
+                    reached += 1;
+                    self.queue.push_back(v);
+                }
+            });
+        }
+        reached
+    }
+
+    /// Parent-tracking BFS over `view` from `src` that stops as soon as a
+    /// vertex satisfying `is_target` is discovered, returning it. The
+    /// search stops *at discovery time* (the moment the parent pointer is
+    /// set), matching the early-exit point-to-point queries the stitching
+    /// layer runs; extract the path with [`TraversalArena::path_to`].
+    ///
+    /// Returns `None` when no satisfying vertex is reachable (or the view
+    /// excludes `src`).
+    pub fn run_to_target<V: GraphView, P: Fn(NodeId) -> bool>(
+        &mut self,
+        view: V,
+        src: NodeId,
+        is_target: P,
+    ) -> Option<NodeId> {
+        self.begin(view.node_count(), true);
+        if !view.contains_node(src) {
+            return None;
+        }
+        self.mark(src, 0, src);
+        if is_target(src) {
+            return Some(src);
+        }
+        self.queue.push_back(src);
+        let mut hit: Option<NodeId> = None;
+        'bfs: while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            // Internal iteration cannot break out of the closure, so
+            // collect the hit and break the outer loop.
+            let mut found: Option<NodeId> = None;
+            view.for_each_neighbor(u, |v| {
+                if found.is_none() && self.mark(v, du + 1, u) {
+                    if is_target(v) {
+                        found = Some(v);
+                    } else {
+                        self.queue.push_back(v);
+                    }
+                }
+            });
+            if let Some(v) = found {
+                hit = Some(v);
+                break 'bfs;
+            }
+        }
+        hit
+    }
+
+    /// Extract the source → `dst` path from the last parent-tracking
+    /// traversal; `None` when `dst` was not reached (or parents were not
+    /// tracked).
+    pub fn path_to(&self, dst: NodeId) -> Option<Vec<NodeId>> {
+        self.parent(dst)?;
+        let mut path = vec![dst];
+        let mut cur = dst;
+        loop {
+            let p = self.parent(cur)?;
+            if p == cur {
+                break; // reached the source (its own parent)
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
     /// Histogram of distances from the last run: `hist[d]` = number of
     /// vertices at distance exactly `d` (capped at `max_len` buckets).
+    /// O(reached), via the visit order.
     pub fn distance_histogram(&self, max_len: usize) -> Vec<usize> {
         let mut hist = vec![0usize; max_len];
-        if self.epoch == 0 {
-            return hist; // no traversal has run yet
-        }
-        for v in 0..self.dist.len() {
-            if self.seen[v] == self.epoch {
-                let d = self.dist[v] as usize;
-                if d < max_len {
-                    hist[d] += 1;
-                }
+        for &v in &self.order {
+            let d = self.dist[v.index()] as usize;
+            if d < max_len {
+                hist[d] += 1;
             }
         }
         hist
     }
+}
+
+thread_local! {
+    static ARENA_POOL: RefCell<TraversalArena> = RefCell::new(TraversalArena::new());
+}
+
+/// Run `f` with this thread's pooled [`TraversalArena`].
+///
+/// The arena persists for the life of the thread, so repeated calls (and
+/// every per-source loop inside `f`) reuse the same buffers — the
+/// steady-state zero-allocation path of the engine. Reentrant calls get a
+/// fresh temporary arena instead of the pooled one.
+pub fn with_arena<R>(f: impl FnOnce(&mut TraversalArena) -> R) -> R {
+    ARENA_POOL.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut arena) => f(&mut arena),
+        Err(_) => f(&mut TraversalArena::new()),
+    })
 }
 
 /// Single-source hop distances; `None` for unreachable vertices.
@@ -179,23 +320,26 @@ impl Bfs {
 /// assert_eq!(d, vec![Some(0), Some(1), Some(2), None]);
 /// ```
 pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
-    let mut bfs = Bfs::new(g.node_count());
-    bfs.run(g, src);
-    g.nodes().map(|v| bfs.distance(v)).collect()
+    with_arena(|arena| {
+        arena.run(FullView::new(g), src);
+        g.nodes().map(|v| arena.distance(v)).collect()
+    })
 }
 
 /// Like [`bfs_distances`] but not expanding past `max_depth` hops.
 pub fn bfs_distances_bounded(g: &Graph, src: NodeId, max_depth: u32) -> Vec<Option<u32>> {
-    let mut bfs = Bfs::new(g.node_count());
-    bfs.run_bounded(g, src, max_depth);
-    g.nodes().map(|v| bfs.distance(v)).collect()
+    with_arena(|arena| {
+        arena.run_bounded(FullView::new(g), src, max_depth);
+        g.nodes().map(|v| arena.distance(v)).collect()
+    })
 }
 
 /// Hop distance to the nearest of `sources`; `None` if unreachable.
 pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<Option<u32>> {
-    let mut bfs = Bfs::new(g.node_count());
-    bfs.run_multi(g, sources.iter().copied());
-    g.nodes().map(|v| bfs.distance(v)).collect()
+    with_arena(|arena| {
+        arena.run_multi(FullView::new(g), sources.iter().copied());
+        g.nodes().map(|v| arena.distance(v)).collect()
+    })
 }
 
 /// Hop distances from `src` along paths confined to `allowed`.
@@ -203,29 +347,20 @@ pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<Option<u32>> {
 /// This is the building block of the l-hop E2E connectivity evaluation:
 /// with `allowed = B ∪ N(B)` every path found is a B-dominated path.
 pub fn restricted_bfs_distances(g: &Graph, src: NodeId, allowed: &NodeSet) -> Vec<Option<u32>> {
-    let mut bfs = Bfs::new(g.node_count());
-    bfs.run_restricted(g, src, allowed, u32::MAX);
-    g.nodes().map(|v| bfs.distance(v)).collect()
+    with_arena(|arena| {
+        arena.run(InducedView::new(g, allowed), src);
+        g.nodes().map(|v| arena.distance(v)).collect()
+    })
 }
 
 /// BFS parent tree from `src`: `parent[v]` is the predecessor of `v` on
 /// one shortest path from `src`; `parent[src] = Some(src)`; `None` means
 /// unreachable.
 pub fn bfs_parents(g: &Graph, src: NodeId) -> Vec<Option<NodeId>> {
-    let n = g.node_count();
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut queue = VecDeque::new();
-    parent[src.index()] = Some(src);
-    queue.push_back(src);
-    while let Some(u) = queue.pop_front() {
-        for &v in g.neighbors(u) {
-            if parent[v.index()].is_none() {
-                parent[v.index()] = Some(u);
-                queue.push_back(v);
-            }
-        }
-    }
-    parent
+    with_arena(|arena| {
+        arena.run_parents(FullView::new(g), src);
+        g.nodes().map(|v| arena.parent(v)).collect()
+    })
 }
 
 /// One shortest path from `src` to `dst` (inclusive of both endpoints), or
@@ -238,8 +373,10 @@ pub fn bfs_parents(g: &Graph, src: NodeId) -> Vec<Option<NodeId>> {
 /// assert_eq!(p, [0, 1, 2, 3].map(NodeId).to_vec());
 /// ```
 pub fn shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
-    let parent = bfs_parents(g, src);
-    path_from_parents(&parent, src, dst)
+    with_arena(|arena| {
+        arena.run_parents(FullView::new(g), src);
+        arena.path_to(dst)
+    })
 }
 
 /// Extract the `src -> dst` path out of a parent tree produced by
@@ -268,6 +405,7 @@ pub fn path_from_parents(
 mod tests {
     use super::*;
     use crate::graph::from_edges;
+    use crate::view::DominatedView;
 
     fn path_graph(n: u32) -> Graph {
         from_edges(n as usize, (0..n - 1).map(|i| (NodeId(i), NodeId(i + 1))))
@@ -331,9 +469,9 @@ mod tests {
     fn restricted_bfs_source_not_allowed() {
         let g = path_graph(3);
         let allowed = NodeSet::new(3);
-        let mut bfs = Bfs::new(3);
-        assert_eq!(bfs.run_restricted(&g, NodeId(0), &allowed, u32::MAX), 0);
-        assert_eq!(bfs.distance(NodeId(0)), None);
+        let mut arena = TraversalArena::new();
+        assert_eq!(arena.run(InducedView::new(&g, &allowed), NodeId(0)), 0);
+        assert_eq!(arena.distance(NodeId(0)), None);
     }
 
     #[test]
@@ -357,42 +495,126 @@ mod tests {
     }
 
     #[test]
-    fn fresh_bfs_reports_nothing() {
+    fn fresh_arena_reports_nothing() {
         let g = path_graph(3);
-        let bfs = Bfs::new(3);
+        let arena = TraversalArena::with_capacity(3);
         for v in 0..3 {
-            assert_eq!(bfs.distance(NodeId(v)), None, "unran Bfs leaked a distance");
+            assert_eq!(
+                arena.distance(NodeId(v)),
+                None,
+                "unran arena leaked a distance"
+            );
+            assert_eq!(arena.parent(NodeId(v)), None);
         }
-        assert_eq!(bfs.distance_histogram(4), vec![0, 0, 0, 0]);
+        assert_eq!(arena.distance_histogram(4), vec![0, 0, 0, 0]);
+        assert!(arena.visit_order().is_empty());
         let _ = g;
     }
 
     #[test]
-    fn bfs_scratch_reuse_across_sources() {
+    fn arena_scratch_reuse_across_sources() {
         let g = path_graph(6);
-        let mut bfs = Bfs::new(6);
-        bfs.run(&g, NodeId(0));
-        assert_eq!(bfs.distance(NodeId(5)), Some(5));
-        bfs.run(&g, NodeId(5));
-        assert_eq!(bfs.distance(NodeId(5)), Some(0));
-        assert_eq!(bfs.distance(NodeId(0)), Some(5));
+        let mut arena = TraversalArena::with_capacity(6);
+        arena.run(FullView::new(&g), NodeId(0));
+        assert_eq!(arena.distance(NodeId(5)), Some(5));
+        arena.run(FullView::new(&g), NodeId(5));
+        assert_eq!(arena.distance(NodeId(5)), Some(0));
+        assert_eq!(arena.distance(NodeId(0)), Some(5));
+    }
+
+    #[test]
+    fn arena_grows_across_graphs() {
+        let small = path_graph(3);
+        let big = path_graph(20);
+        let mut arena = TraversalArena::new(); // zero capacity
+        assert_eq!(arena.run(FullView::new(&small), NodeId(0)), 3);
+        assert_eq!(arena.run(FullView::new(&big), NodeId(0)), 20);
+        assert_eq!(arena.distance(NodeId(19)), Some(19));
+        // Back to the small graph: stale big-graph marks must not leak.
+        assert_eq!(arena.run(FullView::new(&small), NodeId(2)), 3);
+        assert_eq!(arena.distance(NodeId(2)), Some(0));
     }
 
     #[test]
     fn distance_histogram_counts() {
         let g = path_graph(5);
-        let mut bfs = Bfs::new(5);
-        bfs.run(&g, NodeId(0));
-        let h = bfs.distance_histogram(6);
+        let mut arena = TraversalArena::with_capacity(5);
+        arena.run(FullView::new(&g), NodeId(0));
+        let h = arena.distance_histogram(6);
         assert_eq!(h, vec![1, 1, 1, 1, 1, 0]);
     }
 
     #[test]
     fn reached_counts() {
         let g = from_edges(5, [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
-        let mut bfs = Bfs::new(5);
-        assert_eq!(bfs.run(&g, NodeId(0)), 3);
-        assert_eq!(bfs.run_bounded(&g, NodeId(0), 1), 2);
-        assert_eq!(bfs.run_multi(&g, [NodeId(3), NodeId(4)]), 2);
+        let mut arena = TraversalArena::with_capacity(5);
+        assert_eq!(arena.run(FullView::new(&g), NodeId(0)), 3);
+        assert_eq!(arena.run_bounded(FullView::new(&g), NodeId(0), 1), 2);
+        assert_eq!(
+            arena.run_multi(FullView::new(&g), [NodeId(3), NodeId(4)]),
+            2
+        );
+    }
+
+    #[test]
+    fn visit_order_is_bfs_order() {
+        let g = path_graph(4);
+        let mut arena = TraversalArena::new();
+        arena.run(FullView::new(&g), NodeId(0));
+        assert_eq!(
+            arena.visit_order(),
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn run_to_target_early_exit_and_path() {
+        let g = path_graph(6);
+        let mut arena = TraversalArena::new();
+        let hit = arena.run_to_target(FullView::new(&g), NodeId(0), |v| v == NodeId(3));
+        assert_eq!(hit, Some(NodeId(3)));
+        assert_eq!(
+            arena.path_to(NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        // Vertices past the target were never discovered.
+        assert_eq!(arena.distance(NodeId(5)), None);
+        // Source satisfying the predicate short-circuits.
+        assert_eq!(
+            arena.run_to_target(FullView::new(&g), NodeId(2), |v| v == NodeId(2)),
+            Some(NodeId(2))
+        );
+        assert_eq!(arena.path_to(NodeId(2)).unwrap(), vec![NodeId(2)]);
+        // Unreachable target.
+        let g2 = from_edges(3, [(NodeId(0), NodeId(1))]);
+        assert_eq!(
+            arena.run_to_target(FullView::new(&g2), NodeId(0), |v| v == NodeId(2)),
+            None
+        );
+    }
+
+    #[test]
+    fn dominated_traversal_via_view() {
+        // 0-1-2-3, B = {1}: from 0 reach {0, 1, 2}.
+        let g = path_graph(4);
+        let brokers = NodeSet::from_iter_with_capacity(4, [NodeId(1)]);
+        let mut arena = TraversalArena::new();
+        assert_eq!(arena.run(DominatedView::new(&g, &brokers), NodeId(0)), 3);
+        assert_eq!(arena.distance(NodeId(3)), None);
+    }
+
+    #[test]
+    fn pooled_arena_round_trips() {
+        let g = path_graph(5);
+        let a = with_arena(|arena| arena.run(FullView::new(&g), NodeId(0)));
+        let b = with_arena(|arena| arena.run(FullView::new(&g), NodeId(4)));
+        assert_eq!(a, 5);
+        assert_eq!(b, 5);
+        // Reentrant use falls back to a temporary arena, no panic.
+        let nested = with_arena(|outer| {
+            outer.run(FullView::new(&g), NodeId(0));
+            with_arena(|inner| inner.run(FullView::new(&g), NodeId(1)))
+        });
+        assert_eq!(nested, 5);
     }
 }

@@ -1,0 +1,99 @@
+//! Determinism gate for the parallel executor: every threaded metric
+//! must be bit-identical across worker counts (including the sequential
+//! delegate), because results files are diffed by CI and by readers.
+//!
+//! The guarantee comes from fixed-size chunking plus chunk-ordered
+//! merges in [`netgraph::par`]; these tests pin it end to end.
+
+use netgraph::{betweenness_threaded, closeness_threaded, metrics};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+fn graph() -> netgraph::Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(2014);
+    netgraph::barabasi_albert(600, 3, &mut rng)
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn betweenness_bit_identical_across_thread_counts() {
+    let g = graph();
+    let want = bits(&metrics::betweenness(
+        &g,
+        Some(64),
+        &mut ChaCha8Rng::seed_from_u64(7),
+    ));
+    for t in THREADS {
+        let got = bits(&betweenness_threaded(
+            &g,
+            Some(64),
+            &mut ChaCha8Rng::seed_from_u64(7),
+            t,
+        ));
+        assert_eq!(got, want, "betweenness diverged at threads={t}");
+    }
+}
+
+#[test]
+fn betweenness_exact_mode_also_identical() {
+    let g = graph();
+    let want = bits(&betweenness_threaded(
+        &g,
+        None,
+        &mut ChaCha8Rng::seed_from_u64(7),
+        1,
+    ));
+    for t in [2, 7] {
+        let got = bits(&betweenness_threaded(
+            &g,
+            None,
+            &mut ChaCha8Rng::seed_from_u64(7),
+            t,
+        ));
+        assert_eq!(got, want, "exact betweenness diverged at threads={t}");
+    }
+}
+
+#[test]
+fn closeness_bit_identical_across_thread_counts() {
+    let g = graph();
+    let want = bits(&metrics::closeness(
+        &g,
+        Some(80),
+        &mut ChaCha8Rng::seed_from_u64(11),
+    ));
+    for t in THREADS {
+        let got = bits(&closeness_threaded(
+            &g,
+            Some(80),
+            &mut ChaCha8Rng::seed_from_u64(11),
+            t,
+        ));
+        assert_eq!(got, want, "closeness diverged at threads={t}");
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_too() {
+    // threads = 0 resolves to the machine's parallelism — whatever that
+    // is, the answer must not move.
+    let g = graph();
+    let a = bits(&betweenness_threaded(
+        &g,
+        Some(32),
+        &mut ChaCha8Rng::seed_from_u64(3),
+        0,
+    ));
+    let b = bits(&betweenness_threaded(
+        &g,
+        Some(32),
+        &mut ChaCha8Rng::seed_from_u64(3),
+        3,
+    ));
+    assert_eq!(a, b);
+}

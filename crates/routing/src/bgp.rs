@@ -18,7 +18,6 @@
 use crate::policy::{EdgeClass, PolicyGraph};
 use netgraph::{NodeId, NodeSet};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// How a route was learned, in preference order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -98,10 +97,11 @@ pub fn bgp_routes(pg: &PolicyGraph, dst: NodeId) -> RouteTable {
 
     // Stage 1 — customer routes: propagate along ToCustomer edges
     // reversed, i.e. from a node to its *providers* (the provider learns
-    // a customer route). BFS over "provider of" edges.
-    let mut queue = VecDeque::new();
-    queue.push_back(dst);
-    while let Some(u) = queue.pop_front() {
+    // a customer route). Chaotic worklist iteration: `better()` is a
+    // strict improvement in a finite lattice, so the relaxation reaches
+    // the same unique fixed point in any processing order (LIFO here).
+    let mut worklist = vec![dst];
+    while let Some(u) = worklist.pop() {
         let Some(base) = routes[u.index()] else {
             debug_assert!(false, "queued node {u:?} has no route");
             continue;
@@ -119,7 +119,7 @@ pub fn bgp_routes(pg: &PolicyGraph, dst: NodeId) -> RouteTable {
             };
             if better(cand, routes[v.index()]) {
                 routes[v.index()] = Some(cand);
-                queue.push_back(v);
+                worklist.push(v);
             }
         }
     }
@@ -185,13 +185,13 @@ pub fn bgp_routes(pg: &PolicyGraph, dst: NodeId) -> RouteTable {
     }
 
     // Stage 3 — provider routes: any route holder exports to customers;
-    // customers re-export provider routes to *their* customers, so BFS
-    // downhill.
-    let mut queue: VecDeque<NodeId> = (0..n)
+    // customers re-export provider routes to *their* customers. Same
+    // order-independent fixed-point argument as stage 1.
+    let mut worklist: Vec<NodeId> = (0..n)
         .filter(|&v| routes[v].is_some())
         .map(NodeId::from)
         .collect();
-    while let Some(u) = queue.pop_front() {
+    while let Some(u) = worklist.pop() {
         let Some(base) = routes[u.index()] else {
             debug_assert!(false, "queued node {u:?} has no route");
             continue;
@@ -208,7 +208,7 @@ pub fn bgp_routes(pg: &PolicyGraph, dst: NodeId) -> RouteTable {
             };
             if better(cand, routes[v.index()]) {
                 routes[v.index()] = Some(cand);
-                queue.push_back(v);
+                worklist.push(v);
             }
         }
     }

@@ -13,7 +13,7 @@ use crate::policy::PolicyGraph;
 use crate::valleyfree::{valley_free_reach, ReachOptions};
 use brokerset::connectivity::sample_std_error;
 use brokerset::SourceMode;
-use netgraph::{NodeId, NodeSet};
+use netgraph::{par, NodeId, NodeSet};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -27,8 +27,9 @@ pub struct DirectionalReport {
     pub fraction: f64,
     /// Sources evaluated.
     pub sources: usize,
-    /// One-sigma sampling error (0 when exact).
-    pub std_error: f64,
+    /// One-sigma sampling error: `Some(0.0)` when exact, `None` when
+    /// unknowable (single-source samples).
+    pub std_error: Option<f64>,
 }
 
 /// Measure directional connectivity.
@@ -44,12 +45,25 @@ pub fn directional_connectivity(
     brokers: Option<&NodeSet>,
     mode: SourceMode,
 ) -> DirectionalReport {
+    directional_connectivity_threaded(pg, brokers, mode, 1)
+}
+
+/// [`directional_connectivity`] with the per-source valley-free walks run
+/// on `threads` workers (`0` = all hardware threads) via
+/// [`netgraph::par`]. Per-source fractions come back in source order, so
+/// the mean and error estimate are bit-identical at every thread count.
+pub fn directional_connectivity_threaded(
+    pg: &PolicyGraph,
+    brokers: Option<&NodeSet>,
+    mode: SourceMode,
+    threads: usize,
+) -> DirectionalReport {
     let n = pg.node_count();
     if n < 2 {
         return DirectionalReport {
             fraction: 0.0,
             sources: 0,
-            std_error: 0.0,
+            std_error: Some(0.0),
         };
     }
     let sources: Vec<NodeId> = match mode {
@@ -62,8 +76,7 @@ pub fn directional_connectivity(
             all
         }
     };
-    let mut fractions = Vec::with_capacity(sources.len());
-    for &s in &sources {
+    let fractions: Vec<f64> = par::map(&sources, par::DEFAULT_CHUNK, threads, |&s| {
         let reach = valley_free_reach(
             pg,
             s,
@@ -73,8 +86,8 @@ pub fn directional_connectivity(
                 max_hops: None,
             },
         );
-        fractions.push((reach.len() - 1) as f64 / (n - 1) as f64);
-    }
+        (reach.len() - 1) as f64 / (n - 1) as f64
+    });
     let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
     let std_error = sample_std_error(&fractions, n);
     DirectionalReport {

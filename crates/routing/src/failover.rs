@@ -7,9 +7,9 @@
 //! backup = shortest dominating path avoiding every edge of the primary.
 
 use crate::stitch::{stitch_path, StitchedPath};
-use netgraph::{Graph, NodeId, NodeSet};
+use netgraph::{with_arena, DominatedView, Graph, MaskedView, NodeId, NodeSet};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 
 /// A primary/backup dominating path pair.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,33 +60,14 @@ pub fn dominated_path_avoiding(
     dst: NodeId,
     forbidden: &HashSet<(u32, u32)>,
 ) -> Option<StitchedPath> {
-    let n = g.node_count();
     if src == dst {
         return stitch_path(g, brokers, src, dst);
     }
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    parent[src.index()] = Some(src);
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    'bfs: while let Some(u) = queue.pop_front() {
-        let u_broker = brokers.contains(u);
-        for &v in g.neighbors(u) {
-            if !u_broker && !brokers.contains(v) {
-                continue;
-            }
-            if forbidden.contains(&edge_key(u, v)) {
-                continue;
-            }
-            if parent[v.index()].is_none() {
-                parent[v.index()] = Some(u);
-                if v == dst {
-                    break 'bfs;
-                }
-                queue.push_back(v);
-            }
-        }
-    }
-    let path = netgraph::traverse::path_from_parents(&parent, src, dst)?;
+    let view = MaskedView::without_edges(DominatedView::new(g, brokers), forbidden);
+    let path = with_arena(|arena| {
+        arena.run_to_target(view, src, |v| v == dst)?;
+        arena.path_to(dst)
+    })?;
     let broker_positions = path
         .iter()
         .enumerate()

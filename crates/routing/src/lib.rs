@@ -38,7 +38,9 @@ pub mod valleyfree;
 
 pub use bgp::{bgp_paths_dominated, bgp_routes, Route, RouteClass, RouteTable};
 pub use capacity::{admit_demands, AdmissionReport, CapacityModel, Demand};
-pub use directional::{directional_connectivity, DirectionalReport};
+pub use directional::{
+    directional_connectivity, directional_connectivity_threaded, DirectionalReport,
+};
 pub use failover::{failover_plan, protection_ratio, FailoverPlan};
 pub use inflation::{inflation_report, InflationReport};
 pub use monitor::{supervise, MonitorConfig, MonitorReport, Session, SessionReport};
@@ -46,4 +48,4 @@ pub use policy::{EdgeClass, PolicyGraph};
 pub use qos::{LatencyModel, PathQos};
 pub use stitch::{stitch_path, stitch_path_weighted, StitchedPath};
 pub use validate::{AuditReport, PathCertificate, Validate};
-pub use valleyfree::{valley_free_path, valley_free_reach, Phase};
+pub use valleyfree::{valley_free_path, valley_free_reach, Phase, ValleyFreeView};

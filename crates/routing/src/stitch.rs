@@ -6,9 +6,8 @@
 //! result carries enough metadata (which hops are brokers, the broker
 //! segments) for SLA accounting in the economics layer.
 
-use netgraph::{Graph, NodeId, NodeSet};
+use netgraph::{with_arena, DominatedView, Graph, NodeId, NodeSet};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// A concrete B-dominating path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,30 +50,14 @@ impl StitchedPath {
 /// Returns `None` when no dominating path exists. The endpoints need not
 /// be brokers (they are customers of the brokerage).
 pub fn stitch_path(g: &Graph, brokers: &NodeSet, src: NodeId, dst: NodeId) -> Option<StitchedPath> {
-    let n = g.node_count();
     if src == dst {
         return Some(mk(brokers, vec![src]));
     }
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    parent[src.index()] = Some(src);
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    'bfs: while let Some(u) = queue.pop_front() {
-        let u_broker = brokers.contains(u);
-        for &v in g.neighbors(u) {
-            if !u_broker && !brokers.contains(v) {
-                continue;
-            }
-            if parent[v.index()].is_none() {
-                parent[v.index()] = Some(u);
-                if v == dst {
-                    break 'bfs;
-                }
-                queue.push_back(v);
-            }
-        }
-    }
-    let path = netgraph::traverse::path_from_parents(&parent, src, dst)?;
+    let view = DominatedView::new(g, brokers);
+    let path = with_arena(|arena| {
+        arena.run_to_target(view, src, |v| v == dst)?;
+        arena.path_to(dst)
+    })?;
     Some(mk(brokers, path))
 }
 

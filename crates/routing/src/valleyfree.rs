@@ -4,12 +4,13 @@
 //! at most one peering (an IXP fabric crossing counts as that single
 //! peering), and then only descends provider→customer links. Reachability
 //! from a source is computed by BFS over `(vertex, phase)` states — two
-//! states per vertex, so `O(|V| + |E|)` per source.
+//! states per vertex, so `O(|V| + |E|)` per source. The state graph is
+//! exposed to the shared traversal engine as a [`ValleyFreeView`], so the
+//! walk itself is the same arena BFS every other evaluation uses.
 
 use crate::policy::{EdgeClass, PolicyGraph};
-use netgraph::{NodeId, NodeSet};
+use netgraph::{with_arena, GraphView, NodeId, NodeSet};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Phase of a valley-free walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -79,89 +80,98 @@ pub struct ReachOptions<'a> {
     pub max_hops: Option<u32>,
 }
 
+/// The valley-free `(vertex, phase)` product graph as a
+/// [`netgraph::GraphView`]: state `2·v + 1` is vertex `v` in
+/// [`Phase::Down`], state `2·v` is `v` in [`Phase::Up`]; an edge exists
+/// between states exactly when [`step_with_alliance`] allows the hop (and
+/// the hop is B-dominated, when a broker filter is set).
+///
+/// Walks start at `2·src` (the `Up` phase); one state transition is one
+/// hop, so the engine's depth bound is the hop budget.
+#[derive(Debug, Clone, Copy)]
+pub struct ValleyFreeView<'a> {
+    pg: &'a PolicyGraph,
+    opts: ReachOptions<'a>,
+}
+
+impl<'a> ValleyFreeView<'a> {
+    /// The state graph of `pg` under `opts` (the hop budget in `opts` is
+    /// ignored here — pass it to the traversal instead).
+    pub fn new(pg: &'a PolicyGraph, opts: ReachOptions<'a>) -> Self {
+        ValleyFreeView { pg, opts }
+    }
+
+    /// The underlying vertex of state `s`.
+    pub fn vertex_of(s: NodeId) -> NodeId {
+        NodeId(s.0 / 2)
+    }
+
+    /// The start state for walks beginning at `src` (phase `Up`).
+    pub fn start_state(src: NodeId) -> NodeId {
+        NodeId(2 * src.0)
+    }
+}
+
+impl GraphView for ValleyFreeView<'_> {
+    fn node_count(&self) -> usize {
+        2 * self.pg.node_count()
+    }
+
+    fn for_each_neighbor(&self, s: NodeId, mut visit: impl FnMut(NodeId)) {
+        let u = ValleyFreeView::vertex_of(s);
+        let phase = if s.0 % 2 == 1 { Phase::Down } else { Phase::Up };
+        let u_is_broker = self.opts.brokers.is_none_or(|b| b.contains(u));
+        let u_in_alliance = self.opts.alliance.is_some_and(|a| a.contains(u));
+        for &(v, class) in self.pg.out_edges(u) {
+            if let Some(brokers) = self.opts.brokers {
+                if !u_is_broker && !brokers.contains(v) {
+                    continue;
+                }
+            }
+            let v_in_alliance = self.opts.alliance.is_some_and(|a| a.contains(v));
+            let Some(next) = step_with_alliance(phase, class, u_in_alliance, v_in_alliance) else {
+                continue;
+            };
+            visit(NodeId(2 * v.0 + u32::from(next == Phase::Down)));
+        }
+    }
+}
+
 /// Set of vertices reachable from `src` by valley-free paths (optionally
 /// also B-dominated and hop-bounded). `src` itself is included.
 pub fn valley_free_reach(pg: &PolicyGraph, src: NodeId, opts: ReachOptions<'_>) -> NodeSet {
     let n = pg.node_count();
     let mut reached = NodeSet::new(n);
-    reached.insert(src);
-    // dist[state] where state = 2 * v + phase.
-    let mut seen = vec![false; 2 * n];
-    let mut queue: VecDeque<(NodeId, Phase, u32)> = VecDeque::new();
-    seen[2 * src.index()] = true;
-    queue.push_back((src, Phase::Up, 0));
-    let max_hops = opts.max_hops.unwrap_or(u32::MAX);
-    while let Some((u, phase, d)) = queue.pop_front() {
-        if d >= max_hops {
-            continue;
+    let view = ValleyFreeView::new(pg, opts);
+    with_arena(|arena| {
+        arena.run_bounded(
+            view,
+            ValleyFreeView::start_state(src),
+            opts.max_hops.unwrap_or(u32::MAX),
+        );
+        for &s in arena.visit_order() {
+            reached.insert(ValleyFreeView::vertex_of(s));
         }
-        let u_is_broker = opts.brokers.is_none_or(|b| b.contains(u));
-        let u_in_alliance = opts.alliance.is_some_and(|a| a.contains(u));
-        for &(v, class) in pg.out_edges(u) {
-            if let Some(brokers) = opts.brokers {
-                if !u_is_broker && !brokers.contains(v) {
-                    continue;
-                }
-            }
-            let v_in_alliance = opts.alliance.is_some_and(|a| a.contains(v));
-            let Some(next) = step_with_alliance(phase, class, u_in_alliance, v_in_alliance) else {
-                continue;
-            };
-            let state = 2 * v.index() + usize::from(next == Phase::Down);
-            if !seen[state] {
-                seen[state] = true;
-                reached.insert(v);
-                queue.push_back((v, next, d + 1));
-            }
-        }
-    }
+    });
     reached
 }
 
 /// One valley-free path from `src` to `dst`, if any (shortest in hops).
 pub fn valley_free_path(pg: &PolicyGraph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
-    let n = pg.node_count();
     if src == dst {
         return Some(vec![src]);
     }
-    // parent[state] = previous state.
-    let mut parent: Vec<Option<usize>> = vec![None; 2 * n];
-    let start = 2 * src.index();
-    parent[start] = Some(start);
-    let mut queue: VecDeque<(NodeId, Phase)> = VecDeque::new();
-    queue.push_back((src, Phase::Up));
-    let mut hit: Option<usize> = None;
-    'bfs: while let Some((u, phase)) = queue.pop_front() {
-        let u_state = 2 * u.index() + usize::from(phase == Phase::Down);
-        for &(v, class) in pg.out_edges(u) {
-            let Some(next) = step(phase, class) else {
-                continue;
-            };
-            let state = 2 * v.index() + usize::from(next == Phase::Down);
-            if parent[state].is_none() {
-                parent[state] = Some(u_state);
-                if v == dst {
-                    hit = Some(state);
-                    break 'bfs;
-                }
-                queue.push_back((v, next));
-            }
-        }
-    }
-    let mut state = hit?;
-    let mut path = Vec::new();
-    loop {
-        path.push(NodeId::from(state / 2));
-        match parent[state] {
-            Some(p) if p != state => state = p,
-            Some(_) => break,
-            None => {
-                debug_assert!(false, "parent chain broken");
-                return None;
-            }
-        }
-    }
-    path.reverse();
+    let view = ValleyFreeView::new(pg, ReachOptions::default());
+    let states = with_arena(|arena| {
+        let hit = arena.run_to_target(view, ValleyFreeView::start_state(src), |s| {
+            ValleyFreeView::vertex_of(s) == dst
+        })?;
+        arena.path_to(hit)
+    })?;
+    let path: Vec<NodeId> = states
+        .iter()
+        .map(|&s| ValleyFreeView::vertex_of(s))
+        .collect();
     netgraph::validate::debug_validate(&crate::validate::PathCertificate::new(pg, &path));
     Some(path)
 }

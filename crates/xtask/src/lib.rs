@@ -11,6 +11,7 @@
 //! | R3   | crate roots | `#![forbid(unsafe_code)]` present and a `//!` doc header first |
 //! | R4   | library code of the product crates | no `println!` / `print!` / `dbg!` (output belongs to the bin/bench layer) |
 //! | R5   | all comments | `TODO`/`FIXME` must cite an issue (`#123`) |
+//! | R6   | library code of the product crates | no ad-hoc `VecDeque` BFS — traversal goes through `netgraph::traverse` (deliberately independent validators are allowlisted) |
 //!
 //! Existing violations are burned down, not bulk-suppressed: each one
 //! needs an entry in `crates/xtask/lint.allow` (`rule|path|substring`),

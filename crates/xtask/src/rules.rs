@@ -1,4 +1,4 @@
-//! The R1-R5 rule set and per-file checking.
+//! The R1-R6 rule set and per-file checking.
 
 use crate::scanner;
 use crate::Violation;
@@ -17,10 +17,14 @@ pub enum Rule {
     NoPrintInLib,
     /// `TODO` / `FIXME` comments must reference an issue (`#123`).
     TodoNeedsIssue,
+    /// No ad-hoc `VecDeque` BFS in product library code: traversal goes
+    /// through `netgraph::traverse` (independent re-verification code is
+    /// allowlisted).
+    NoAdhocBfs,
 }
 
 impl Rule {
-    /// Short stable identifier (`R1`..`R5`) used in reports and allowlists.
+    /// Short stable identifier (`R1`..`R6`) used in reports and allowlists.
     pub fn id(self) -> &'static str {
         match self {
             Rule::NoUnwrap => "R1",
@@ -28,6 +32,7 @@ impl Rule {
             Rule::CrateRootHygiene => "R3",
             Rule::NoPrintInLib => "R4",
             Rule::TodoNeedsIssue => "R5",
+            Rule::NoAdhocBfs => "R6",
         }
     }
 
@@ -39,6 +44,7 @@ impl Rule {
             "R3" => Some(Rule::CrateRootHygiene),
             "R4" => Some(Rule::NoPrintInLib),
             "R5" => Some(Rule::TodoNeedsIssue),
+            "R6" => Some(Rule::NoAdhocBfs),
             _ => None,
         }
     }
@@ -53,6 +59,9 @@ impl Rule {
             }
             Rule::NoPrintInLib => "no println!/print!/dbg! in library code",
             Rule::TodoNeedsIssue => "TODO/FIXME must reference an issue (#N)",
+            Rule::NoAdhocBfs => {
+                "no ad-hoc VecDeque BFS in library code (use netgraph::traverse + GraphView)"
+            }
         }
     }
 }
@@ -155,6 +164,19 @@ pub fn check_file(path: &str, text: &str) -> Vec<Violation> {
             && (code.contains("println!") || code.contains("print!(") || code.contains("dbg!("))
         {
             push(&mut out, Rule::NoPrintInLib, lineno, raw);
+        }
+
+        // R6: queue-based traversal in product library code must live in
+        // the engine. Matching `VecDeque` is deliberately coarse — any
+        // hand-rolled wavefront needs a queue, and the engine file is the
+        // one place allowed to own it. Validators that must stay
+        // structurally independent are allowlisted, not exempted here.
+        if class == FileClass::ProductLib
+            && !scanned.in_cfg_test
+            && path != "crates/netgraph/src/traverse.rs"
+            && code.contains("VecDeque")
+        {
+            push(&mut out, Rule::NoAdhocBfs, lineno, raw);
         }
 
         // R5: to-do/fixme markers need an issue reference on the line.
@@ -313,6 +335,30 @@ mod tests {
     }
 
     #[test]
+    fn r6_flags_adhoc_bfs_outside_the_engine() {
+        let src = "use std::collections::VecDeque;\nlet mut q = VecDeque::new();\n";
+        // Product library code outside the engine: both lines fire.
+        let v = check_file("crates/brokerset/src/coverage.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::NoAdhocBfs).count(), 2);
+        // The engine itself owns the queue.
+        let v = check_file("crates/netgraph/src/traverse.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoAdhocBfs));
+        // Tests, benches and bins may hand-roll references freely.
+        for path in [
+            "crates/netgraph/tests/engine_props.rs",
+            "benches/b.rs",
+            "src/bin/cli.rs",
+        ] {
+            let v = check_file(path, src);
+            assert!(v.iter().all(|v| v.rule != Rule::NoAdhocBfs), "{path}");
+        }
+        // #[cfg(test)] modules inside product libs are exempt too.
+        let src = "#[cfg(test)]\nmod t { use std::collections::VecDeque; }\n";
+        let v = check_file("crates/brokerset/src/coverage.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoAdhocBfs));
+    }
+
+    #[test]
     fn rule_ids_roundtrip() {
         for r in [
             Rule::NoUnwrap,
@@ -320,6 +366,7 @@ mod tests {
             Rule::CrateRootHygiene,
             Rule::NoPrintInLib,
             Rule::TodoNeedsIssue,
+            Rule::NoAdhocBfs,
         ] {
             assert_eq!(Rule::from_id(r.id()), Some(r));
             assert!(!r.describe().is_empty());
