@@ -40,6 +40,12 @@ run cargo run --offline -q -p xtask -- lint
 run cargo test --offline -q -p netgraph --test determinism
 run cargo test --offline -q -p brokerset --test determinism
 
+# msbfs equivalence gate: every lane of the 64-source kernel must match
+# the per-source engine on all four view types (property-tested), and on
+# the directed valley-free state graph where pull is forbidden.
+run cargo test --offline -q -p netgraph --test msbfs_props
+run cargo test --offline -q -p routing --test msbfs_valleyfree
+
 run cargo test --offline -q --workspace
 
 echo "==> CI gate passed"

@@ -1,11 +1,12 @@
 //! Micro-benchmarks of the hot kernels: BFS (pooled vs allocating),
-//! dominated components, coverage gain, and the l-hop connectivity
-//! evaluator (sequential vs parallel).
+//! the 64-lane msbfs batch vs 64 per-source runs, dominated components,
+//! coverage gain, and the l-hop connectivity evaluator (sequential vs
+//! parallel).
 
 use brokerset::{greedy_mcb, lhop_curve, saturated_connectivity, CoverageState, SourceMode};
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use netgraph::{with_arena, FullView, NodeId, TraversalArena};
+use netgraph::{with_arena, DominatedView, FullView, MsBfsArena, NodeId, TraversalArena};
 use topology::{InternetConfig, Scale};
 
 fn kernels(c: &mut Criterion) {
@@ -92,6 +93,47 @@ fn kernels(c: &mut Criterion) {
     });
 }
 
+/// One 64-source batch, bit-parallel vs 64 per-source arena runs, over
+/// the dominated view the l-hop evaluator uses — the lane-level speedup
+/// the msbfs kernel exists for, at tiny and quarter scale.
+fn msbfs_64lane(c: &mut Criterion) {
+    for (name, scale) in [("tiny", Scale::Tiny), ("quarter", Scale::Quarter)] {
+        let net = InternetConfig::scaled(scale).generate(2014);
+        let g = net.graph().clone();
+        let n = g.node_count();
+        let sel = greedy_mcb(&g, n / 15);
+        let sources: Vec<NodeId> = g.nodes().take(64).collect();
+
+        let group_name = format!("msbfs_64lane_{name}");
+        let mut group = c.benchmark_group(group_name.as_str());
+        group.sample_size(10);
+        group.bench_function("msbfs_batch", |b| {
+            let mut arena = MsBfsArena::with_capacity(n);
+            b.iter(|| {
+                let mut pairs = 0u64;
+                arena.run(
+                    DominatedView::new(&g, sel.brokers()),
+                    &sources,
+                    u32::MAX,
+                    |wf| pairs += wf.new_pairs(),
+                );
+                pairs
+            })
+        });
+        group.bench_function("per_source_64", |b| {
+            let mut arena = TraversalArena::with_capacity(n);
+            b.iter(|| {
+                let mut pairs = 0u64;
+                for &s in &sources {
+                    pairs += arena.run(DominatedView::new(&g, sel.brokers()), s) as u64;
+                }
+                pairs
+            })
+        });
+        group.finish();
+    }
+}
+
 /// Exact l-hop evaluation over every source, sequential vs parallel —
 /// the fan-out the deterministic executor exists for.
 fn lhop_exact(c: &mut Criterion) {
@@ -110,5 +152,5 @@ fn lhop_exact(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, kernels, lhop_exact);
+criterion_group!(benches, kernels, msbfs_64lane, lhop_exact);
 criterion_main!(benches);

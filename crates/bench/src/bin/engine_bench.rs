@@ -1,15 +1,38 @@
-//! Engine-layer speedup snapshot: arena-pooled vs allocating BFS and
-//! sequential vs parallel exact l-hop evaluation.
+//! Engine-layer speedup snapshot: arena-pooled vs allocating BFS,
+//! sequential vs parallel exact l-hop evaluation, and the 64-lane
+//! `netgraph::msbfs` kernel vs the historical one-BFS-per-source path.
 //!
 //! Writes `BENCH_engine.json` at the repo root (wall-clock medians plus
 //! the derived speedups) so the numbers travel with the tree. Unlike the
 //! criterion benches this runs in seconds and exercises `--threads`.
 //!
+//! ## Methodology
+//!
+//! Every timing is the **median of 3 (l-hop) or 5 (BFS sweep) runs** of
+//! the same closure on a generated topology, measured with a monotonic
+//! wall clock after a warm-up implied by topology generation and broker
+//! selection. The msbfs-vs-per-source comparison times two
+//! implementations of the *same* exact l-hop computation (`F_B(l)`,
+//! `l ≤ 6`, every vertex a source, identical chunking through
+//! `netgraph::par`):
+//!
+//! - **per-source** — the pre-msbfs evaluator, reproduced verbatim below
+//!   (`per_source_curve`): one arena BFS per source over
+//!   `DominatedView`, cumulative histogram per source;
+//! - **msbfs** — `brokerset::lhop_curve_parallel`, which now batches 64
+//!   sources into the bit lanes of a `u64` per adjacency pass.
+//!
+//! Both paths run at each thread count in {1, 2, 4, 0 = all cores}, one
+//! JSON row per count, and the bin asserts their curves agree before
+//! timing anything. The schema is additive over the previous snapshot:
+//! old keys keep their meaning (`lhop_exact_*` now reflects the msbfs
+//! evaluator, which is the shipping path).
+//!
 //! Usage: `engine_bench [tiny|quarter|full] [seed] [--threads N]`
 
 use bench::{header, RunConfig};
 use brokerset::{max_subgraph_greedy, SourceMode};
-use netgraph::{FullView, NodeId, TraversalArena};
+use netgraph::{par, with_arena, DominatedView, FullView, Graph, NodeId, NodeSet, TraversalArena};
 use std::time::Instant;
 
 /// Median wall-clock seconds over `reps` runs of `f`.
@@ -25,6 +48,36 @@ fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The pre-msbfs exact l-hop evaluator, kept verbatim as the timing
+/// baseline: one arena BFS per source, fanned out in the same
+/// fixed-size chunks through the same deterministic executor.
+fn per_source_curve(g: &Graph, brokers: &NodeSet, max_l: usize, threads: usize) -> Vec<u64> {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    let parts = par::map_chunks(&sources, par::DEFAULT_CHUNK, threads, |chunk| {
+        let view = DominatedView::new(g, brokers);
+        let mut cum = vec![0u64; max_l];
+        with_arena(|arena| {
+            for &s in chunk {
+                arena.run_bounded(view, s, max_l as u32);
+                let hist = arena.distance_histogram(max_l + 1);
+                let mut acc = 0u64;
+                for (l, slot) in cum.iter_mut().enumerate() {
+                    acc += hist[l + 1] as u64;
+                    *slot += acc;
+                }
+            }
+        });
+        cum
+    });
+    let mut cum = vec![0u64; max_l];
+    for part in parts {
+        for (c, p) in cum.iter_mut().zip(part) {
+            *c += p;
+        }
+    }
+    cum
+}
+
 fn main() {
     let rc = RunConfig::from_args();
     let net = rc.internet();
@@ -33,7 +86,8 @@ fn main() {
     header("engine_bench", "traversal engine speedup snapshot");
 
     let sel = max_subgraph_greedy(g, rc.budgets(n)[2]);
-    let threads = netgraph::par::resolve_threads(rc.threads);
+    let threads = par::resolve_threads(rc.threads);
+    const MAX_L: usize = 6;
 
     // BFS: pooled arena (steady state, zero allocation) vs a fresh arena
     // per run (what every deleted ad-hoc BFS used to pay).
@@ -51,18 +105,56 @@ fn main() {
         }
     });
 
-    // Exact l-hop curve: the executor's headline fan-out.
+    // Exact l-hop curve on the shipping (msbfs) path: the executor's
+    // headline fan-out, sequential vs parallel.
     let seq = median_secs(3, || {
-        brokerset::lhop_curve_parallel(g, sel.brokers(), 6, SourceMode::Exact, 1)
+        brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, 1)
     });
-    let par = median_secs(3, || {
-        brokerset::lhop_curve_parallel(g, sel.brokers(), 6, SourceMode::Exact, threads)
+    let par_s = median_secs(3, || {
+        brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, threads)
     });
 
+    // msbfs vs per-source, one row per thread count. Correctness first:
+    // both evaluators must produce the same curve.
+    let reference = per_source_curve(g, sel.brokers(), MAX_L, 1);
+    let denom = n as f64 * (n as f64 - 1.0);
+    let reference_fractions: Vec<f64> = reference.iter().map(|&c| c as f64 / denom).collect();
+    let shipping = brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, 1);
+    assert_eq!(
+        shipping.fractions, reference_fractions,
+        "msbfs l-hop curve diverged from the per-source reference"
+    );
+
+    let mut rows = Vec::new();
+    println!("  exact l-hop, msbfs vs per-source (max_l = {MAX_L}, {n} sources):");
+    for &t in &[1usize, 2, 4, 0] {
+        let resolved = par::resolve_threads(t);
+        let per_source = median_secs(3, || per_source_curve(g, sel.brokers(), MAX_L, t));
+        let msbfs = median_secs(3, || {
+            brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, t)
+        });
+        let speedup = per_source / msbfs;
+        println!(
+            "    threads {t} ({resolved:2} workers)  per-source {per_source:.4}s  msbfs {msbfs:.4}s  speedup {speedup:.2}x"
+        );
+        rows.push(serde_json::json!({
+            "threads": t,
+            "threads_resolved": resolved,
+            "lhop_per_source_s": per_source,
+            "lhop_msbfs_s": msbfs,
+            "msbfs_speedup": speedup,
+        }));
+    }
+    let msbfs_par_speedup = rows
+        .iter()
+        .find(|r| r["threads"] == 0)
+        .map(|r| r["msbfs_speedup"].as_f64().unwrap_or(0.0))
+        .unwrap_or(0.0);
+
     let bfs_speedup = fresh / pooled;
-    let lhop_speedup = seq / par;
+    let lhop_speedup = seq / par_s;
     println!("  bfs {sweep}-source sweep   pooled {pooled:.4}s  fresh {fresh:.4}s  speedup {bfs_speedup:.2}x");
-    println!("  exact l-hop curve     seq {seq:.4}s  par({threads}) {par:.4}s  speedup {lhop_speedup:.2}x");
+    println!("  exact l-hop curve     seq {seq:.4}s  par({threads}) {par_s:.4}s  speedup {lhop_speedup:.2}x");
 
     let data = serde_json::json!({
         "nodes": n,
@@ -73,8 +165,10 @@ fn main() {
         "bfs_fresh_s": fresh,
         "bfs_pooled_speedup": bfs_speedup,
         "lhop_exact_seq_s": seq,
-        "lhop_exact_par_s": par,
+        "lhop_exact_par_s": par_s,
         "lhop_parallel_speedup": lhop_speedup,
+        "lhop_rows": rows,
+        "msbfs_vs_per_source_par_speedup": msbfs_par_speedup,
     });
     let record = bench::ExperimentRecord::new("engine_bench", &rc, data);
     let json = serde_json::to_string_pretty(&record).expect("serialize bench record");

@@ -8,14 +8,20 @@
 //!
 //! Usage: `fig1 [tiny|quarter|full] [seed] [--dot out.dot]`
 
-use bench::{header, pct, RunConfig};
+use bench::{header, pct, ArgExtras, RunConfig};
 use netgraph::{coreness, degree_stats, diameter_lower_bound, mean_clustering, NodeSet};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use topology::NodeKind;
 
 fn main() {
-    let rc = RunConfig::from_args();
+    let (rc, extra) = RunConfig::from_args_extended(
+        ArgExtras {
+            value_flags: &["--dot"],
+            max_positionals: 0,
+        },
+        " [--dot out.dot]",
+    );
     let net = rc.internet();
     let g = net.graph();
     header("Fig 1", "scale-free, layered structure of the topology");
@@ -77,9 +83,7 @@ fn main() {
     }
 
     // Optional DOT export of the core + a neighborhood sample.
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(pos) = args.iter().position(|a| a == "--dot") {
-        let path = args.get(pos + 1).cloned().unwrap_or("fig1.dot".into());
+    if let Some(path) = extra.flag("--dot") {
         let mut keep = NodeSet::new(g.node_count());
         // Top-coreness vertices plus random edge vertices.
         let mut order: Vec<_> = g.nodes().collect();
@@ -100,7 +104,7 @@ fn main() {
             sub.nodes()
                 .filter(|&v| net.kind(map[v.index()]) == NodeKind::Ixp),
         );
-        std::fs::write(&path, netgraph::to_dot(&sub, Some(&ixps), Some(&labels)))
+        std::fs::write(path, netgraph::to_dot(&sub, Some(&ixps), Some(&labels)))
             .expect("write dot file");
         println!("\nwrote DOT sample ({} nodes) to {path}", sub.node_count());
     }

@@ -6,15 +6,22 @@
 //!
 //! Usage: `fig2a [tiny|quarter|full] [seed] [runs]`
 
-use bench::{header, pct, RunConfig};
+use bench::{header, pct, ArgExtras, RunConfig};
 use brokerset::set_cover;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let rc = RunConfig::from_args();
-    let runs: usize = std::env::args()
-        .nth(3)
+    let (rc, extra) = RunConfig::from_args_extended(
+        ArgExtras {
+            value_flags: &[],
+            max_positionals: 1,
+        },
+        " [runs]",
+    );
+    let runs: usize = extra
+        .positionals
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(300);
     let net = rc.internet();

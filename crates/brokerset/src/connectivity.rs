@@ -15,7 +15,7 @@
 //!   error reported.
 
 use netgraph::components::Components;
-use netgraph::{with_arena, DominatedView, Graph, NodeId, NodeSet, UnionFind};
+use netgraph::{msbfs, with_msbfs, DominatedView, Graph, NodeId, NodeSet, UnionFind};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -90,9 +90,18 @@ pub fn sample_std_error(values: &[f64], population: usize) -> Option<f64> {
     Some((var * fpc / m as f64).sqrt())
 }
 
-/// Per-source dominated-edge BFS over `sources`, returning the cumulative
-/// reach histogram (`cum[l]` = total vertices reached within `l + 1`
-/// hops, summed over sources) and each source's final reach fraction.
+/// Dominated-edge BFS over `sources`, returning the cumulative reach
+/// histogram (`cum[l]` = total vertices reached within `l + 1` hops,
+/// summed over sources) and each source's final reach fraction.
+///
+/// Sources are traversed in 64-lane [`msbfs`] batches: one adjacency
+/// pass per level serves 64 sources at once, which is what makes
+/// [`SourceMode::Exact`] affordable beyond toy scales. All accumulated
+/// quantities are per-level set cardinalities (integers), so the result
+/// is byte-identical to the historical one-arena-BFS-per-source loop —
+/// including `finals`, whose division happens per source in source
+/// order. Batch boundaries are invisible: each lane only ever
+/// contributes its own counts.
 pub(crate) fn run_sources(
     g: &Graph,
     brokers: &NodeSet,
@@ -103,18 +112,28 @@ pub(crate) fn run_sources(
     let mut cum = vec![0u64; max_l];
     let mut finals = Vec::with_capacity(sources.len());
     let view = DominatedView::new(g, brokers);
-    with_arena(|arena| {
-        for &s in sources {
-            arena.run_bounded(view, s, max_l as u32);
-            // hist[d] = vertices at distance exactly d (d = 0 is the
-            // source itself, excluded from pair counts).
-            let hist = arena.distance_histogram(max_l + 1);
+    with_msbfs(|arena| {
+        for batch in sources.chunks(msbfs::LANES) {
+            // level_pairs[l] = pairs first connected at exactly l + 1
+            // hops, summed over the batch's lanes (level 0 is each
+            // source discovering itself, excluded from pair counts).
+            let mut level_pairs = vec![0u64; max_l];
+            arena.run(view, batch, max_l as u32, |wf| {
+                let l = wf.level() as usize;
+                if l >= 1 {
+                    level_pairs[l - 1] += wf.new_pairs();
+                }
+            });
             let mut acc = 0u64;
-            for (l, slot) in cum.iter_mut().enumerate() {
-                acc += hist[l + 1] as u64;
+            for (slot, &pairs) in cum.iter_mut().zip(&level_pairs) {
+                acc += pairs;
                 *slot += acc;
             }
-            finals.push(acc as f64 / (n as f64 - 1.0));
+            let reach = arena.lane_reach();
+            for &r in reach.iter().take(batch.len()) {
+                let acc = u64::from(r.saturating_sub(1));
+                finals.push(acc as f64 / (n as f64 - 1.0));
+            }
         }
     });
     (cum, finals)

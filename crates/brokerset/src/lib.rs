@@ -87,7 +87,8 @@ pub use parallel::lhop_curve_parallel;
 pub use pareto::Frontier;
 pub use problem::{BrokerSelection, PathLengthConstraint};
 pub use resilience::{
-    failure_trace, failure_trace_threaded, greedy_repair, FailureOrder, ResilienceTrace,
+    failure_trace, failure_trace_threaded, greedy_repair, lhop_failure_trace,
+    lhop_failure_trace_threaded, FailureOrder, LhopResilienceTrace, ResilienceTrace,
 };
 pub use sweep::{connectivity_sweep, ConnectivitySweep};
 pub use validate::{AuditReport, CoverageCertificate, Validate};

@@ -6,7 +6,7 @@
 //! leave anyway — by targeted attack on the highest-impact members or by
 //! random failure — the classic robustness lens on scale-free systems.
 
-use crate::connectivity::saturated_connectivity;
+use crate::connectivity::{lhop_curve, saturated_connectivity, SourceMode};
 use crate::problem::BrokerSelection;
 use netgraph::{par, Graph, NodeId, NodeSet};
 use rand::seq::SliceRandom;
@@ -79,6 +79,30 @@ pub fn failure_trace_threaded(
     threads: usize,
 ) -> ResilienceTrace {
     assert!(steps > 0, "need at least one step");
+    let (victims, prefixes) = victim_prefixes(sel, order, steps);
+
+    // Each step is a full components pass — heavy — so fan out per step.
+    let connectivity: Vec<f64> = par::map(&prefixes, 1, threads, |&p| {
+        let mut alive: NodeSet = sel.brokers().clone();
+        for &v in &victims[..p] {
+            alive.remove(v);
+        }
+        saturated_connectivity(g, &alive).fraction
+    });
+    ResilienceTrace {
+        removed_fraction: removed_fractions(&prefixes, victims.len()),
+        connectivity,
+    }
+}
+
+/// Resolve the victim list for `order` and the victim-prefix length at
+/// each trace point: 0, batch, 2·batch, ..., victims.len() (the last
+/// batch may be partial).
+fn victim_prefixes(
+    sel: &BrokerSelection,
+    order: FailureOrder,
+    steps: usize,
+) -> (Vec<NodeId>, Vec<usize>) {
     let victims: Vec<NodeId> = match order {
         FailureOrder::TargetedBySelectionRank => sel.order().to_vec(),
         FailureOrder::Random { seed } => {
@@ -90,8 +114,6 @@ pub fn failure_trace_threaded(
         }
     };
     let batch = victims.len().div_ceil(steps).max(1);
-    // Victim-prefix length at each trace point: 0, batch, 2·batch, ...,
-    // victims.len() (the last batch may be partial).
     let mut prefixes: Vec<usize> = vec![0];
     let mut k = batch;
     while k < victims.len() {
@@ -101,22 +123,95 @@ pub fn failure_trace_threaded(
     if !victims.is_empty() {
         prefixes.push(victims.len());
     }
+    (victims, prefixes)
+}
 
-    // Each step is a full components pass — heavy — so fan out per step.
-    let connectivity: Vec<f64> = par::map(&prefixes, 1, threads, |&p| {
+fn removed_fractions(prefixes: &[usize], victims: usize) -> Vec<f64> {
+    prefixes
+        .iter()
+        .map(|&p| p as f64 / victims.max(1) as f64)
+        .collect()
+}
+
+/// Hop-bounded connectivity trace as brokers are removed: like
+/// [`ResilienceTrace`] but each step records `F_B(l)` at `l = max_l`
+/// instead of the l → ∞ saturated value, exposing *path stretch* decay —
+/// a failing alliance first loses its short dominating paths, well before
+/// pairs disconnect outright.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LhopResilienceTrace {
+    /// Fraction of brokers removed at each step (0.0 first).
+    pub removed_fraction: Vec<f64>,
+    /// l-hop E2E connectivity `F_B(max_l)` at each step.
+    pub lhop_connectivity: Vec<f64>,
+    /// The hop bound every step was evaluated at.
+    pub max_l: usize,
+}
+
+impl LhopResilienceTrace {
+    /// l-hop connectivity lost between the intact alliance and the final
+    /// step.
+    pub fn total_degradation(&self) -> f64 {
+        match (
+            self.lhop_connectivity.first(),
+            self.lhop_connectivity.last(),
+        ) {
+            (Some(&a), Some(&b)) => a - b,
+            _ => 0.0,
+        }
+    }
+}
+
+/// [`lhop_failure_trace_threaded`] on one thread.
+///
+/// # Panics
+///
+/// Panics if `steps == 0`.
+pub fn lhop_failure_trace(
+    g: &Graph,
+    sel: &BrokerSelection,
+    order: FailureOrder,
+    steps: usize,
+    max_l: usize,
+    mode: SourceMode,
+) -> LhopResilienceTrace {
+    lhop_failure_trace_threaded(g, sel, order, steps, max_l, mode, 1)
+}
+
+/// Remove brokers in `steps` equal batches according to `order`,
+/// measuring the l-hop connectivity `F_B(max_l)` after each batch, with
+/// the per-step evaluations fanned out on `threads` workers.
+///
+/// Each step is a full [`lhop_curve`] over the shrunk broker set — a
+/// many-source traversal the 64-lane [`netgraph::msbfs`] kernel makes
+/// affordable even in [`SourceMode::Exact`]. Steps are pure functions of
+/// their victim prefix, so the trace is identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `steps == 0`.
+pub fn lhop_failure_trace_threaded(
+    g: &Graph,
+    sel: &BrokerSelection,
+    order: FailureOrder,
+    steps: usize,
+    max_l: usize,
+    mode: SourceMode,
+    threads: usize,
+) -> LhopResilienceTrace {
+    assert!(steps > 0, "need at least one step");
+    let (victims, prefixes) = victim_prefixes(sel, order, steps);
+    let lhop_connectivity: Vec<f64> = par::map(&prefixes, 1, threads, |&p| {
         let mut alive: NodeSet = sel.brokers().clone();
         for &v in &victims[..p] {
             alive.remove(v);
         }
-        saturated_connectivity(g, &alive).fraction
+        lhop_curve(g, &alive, max_l, mode).at(max_l)
     });
-    let removed_fraction = prefixes
-        .iter()
-        .map(|&p| p as f64 / victims.len().max(1) as f64)
-        .collect();
-    ResilienceTrace {
-        removed_fraction,
-        connectivity,
+    LhopResilienceTrace {
+        removed_fraction: removed_fractions(&prefixes, victims.len()),
+        lhop_connectivity,
+        max_l,
     }
 }
 
@@ -256,5 +351,36 @@ mod tests {
     fn zero_steps_rejected() {
         let (g, sel) = setup();
         failure_trace(&g, &sel, FailureOrder::TargetedBySelectionRank, 0);
+    }
+
+    #[test]
+    fn lhop_trace_bounded_by_saturated() {
+        let (g, sel) = setup();
+        let order = FailureOrder::TargetedBySelectionRank;
+        let sat = failure_trace(&g, &sel, order, 5);
+        let lhop = lhop_failure_trace(&g, &sel, order, 5, 6, SourceMode::Exact);
+        assert_eq!(lhop.max_l, 6);
+        assert_eq!(lhop.removed_fraction, sat.removed_fraction);
+        // A hop bound can only lose pairs relative to l -> infinity.
+        for (l, s) in lhop.lhop_connectivity.iter().zip(&sat.connectivity) {
+            assert!(l <= &(s + 1e-12), "lhop {l} above saturated {s}");
+        }
+        assert!(lhop.lhop_connectivity.last().unwrap() < &1e-9);
+        assert!(lhop.total_degradation() > 0.0);
+    }
+
+    #[test]
+    fn lhop_trace_threaded_matches_sequential() {
+        let (g, sel) = setup();
+        let order = FailureOrder::Random { seed: 11 };
+        let mode = SourceMode::Sampled {
+            count: 200,
+            seed: 7,
+        };
+        let seq = lhop_failure_trace(&g, &sel, order, 4, 5, mode);
+        for threads in [2usize, 4, 7] {
+            let par = lhop_failure_trace_threaded(&g, &sel, order, 4, 5, mode, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! topology we estimate by sampling sources, with the standard-error bound
 //! reported alongside.
 
-use crate::traverse::with_arena;
+use crate::msbfs::{self, with_msbfs};
 use crate::view::FullView;
 use crate::{Graph, NodeId};
 use rand::seq::SliceRandom;
@@ -104,20 +104,23 @@ fn histogram_for_sources(g: &Graph, sources: &[NodeId]) -> HopHistogram {
     let n = g.node_count();
     let mut counts: Vec<u64> = Vec::new();
     let mut unreachable = 0u64;
-    with_arena(|arena| {
-        for &s in sources {
-            let reached = arena.run(FullView::new(g), s);
-            unreachable += (n - reached) as u64;
-            for &v in arena.visit_order() {
-                if v == s {
-                    continue;
+    let view = FullView::new(g);
+    // 64 sources per msbfs batch: counts[d] accumulates each wavefront's
+    // pair count (level 0 is the sources themselves, excluded), and each
+    // lane's unreached remainder is `n` minus its discoveries.
+    with_msbfs(|arena| {
+        for batch in sources.chunks(msbfs::LANES) {
+            let discovered = arena.run(view, batch, u32::MAX, |wf| {
+                let d = wf.level() as usize;
+                if d == 0 {
+                    return;
                 }
-                let d = arena.distance(v).unwrap_or(0) as usize;
                 if counts.len() <= d {
                     counts.resize(d + 1, 0);
                 }
-                counts[d] += 1;
-            }
+                counts[d] += wf.new_pairs();
+            });
+            unreachable += batch.len() as u64 * n as u64 - discovered;
         }
     });
     let total = counts.iter().sum::<u64>() + unreachable;

@@ -43,6 +43,8 @@
 //! - [`traverse`] — the traversal engine: pooled [`TraversalArena`] BFS over
 //!   any view (single source, multi source, bounded, early-exit), plus
 //!   allocating convenience wrappers.
+//! - [`msbfs`] — bit-parallel multi-source BFS: 64 sources per `u64` lane
+//!   with direction-optimizing (push/pull) frontier expansion.
 //! - [`par`] — deterministic parallel executor for per-source fan-out.
 //! - [`mod@dijkstra`] — weighted shortest paths.
 //! - [`components`] — connected components and a union-find.
@@ -66,6 +68,7 @@ pub mod export;
 pub mod gen;
 pub mod graph;
 pub mod metrics;
+pub mod msbfs;
 pub mod nodeset;
 pub mod par;
 pub mod traverse;
@@ -85,6 +88,7 @@ pub use metrics::{
     betweenness, betweenness_threaded, closeness, closeness_threaded, clustering_coefficients,
     degree_assortativity, degree_stats, diameter_lower_bound, mean_clustering, DegreeStats,
 };
+pub use msbfs::{msbfs_distances, with_msbfs, LaneSet, MsBfsArena, Wavefront};
 pub use nodeset::NodeSet;
 pub use traverse::{
     bfs_distances, bfs_distances_bounded, bfs_parents, multi_source_bfs, restricted_bfs_distances,

@@ -6,6 +6,7 @@
 //! are what that characterization is made of, and they also power the
 //! betweenness-based selection baseline.
 
+use crate::msbfs::{self, with_msbfs};
 use crate::traverse::{with_arena, TraversalArena};
 use crate::view::FullView;
 use crate::{par, Graph, NodeId};
@@ -246,15 +247,24 @@ pub fn closeness_threaded<R: Rng>(
     let partials = par::map_chunks(&targets, par::DEFAULT_CHUNK, threads, |chunk| {
         let mut dist_sum = vec![0.0f64; n];
         let mut reach_cnt = vec![0u32; n];
-        with_arena(|arena| {
-            for &t in chunk {
-                arena.run(FullView::new(g), t);
-                for &v in arena.visit_order() {
-                    if v != t {
-                        dist_sum[v.index()] += arena.distance(v).unwrap_or(0) as f64;
-                        reach_cnt[v.index()] += 1;
+        // Each chunk is at most one 64-lane msbfs batch (DEFAULT_CHUNK =
+        // LANES); a vertex discovered at `level` by `c` lanes contributes
+        // `level` to `c` distance sums at once. The increments are small
+        // integers (exact in f64), so grouping lanes cannot change the
+        // accumulated bits versus the historical one-BFS-per-target loop.
+        with_msbfs(|arena| {
+            for batch in chunk.chunks(msbfs::LANES) {
+                arena.run(FullView::new(g), batch, u32::MAX, |wf| {
+                    let level = wf.level();
+                    if level == 0 {
+                        return; // self pairs, excluded
                     }
-                }
+                    wf.for_each_new(|v, lanes| {
+                        let c = lanes.count();
+                        dist_sum[v.index()] += f64::from(level * c);
+                        reach_cnt[v.index()] += c;
+                    });
+                });
             }
         });
         (dist_sum, reach_cnt)

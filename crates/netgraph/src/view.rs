@@ -50,6 +50,22 @@ pub trait GraphView {
         let _ = v;
         true
     }
+
+    /// Whether adjacency is symmetric: `v ∈ neighbors(u)` iff
+    /// `u ∈ neighbors(v)`, so [`for_each_neighbor`] enumerates the
+    /// in-neighbors as well as the out-neighbors of its argument.
+    ///
+    /// Bottom-up (pull) frontier expansion in [`crate::msbfs`] gathers a
+    /// vertex's *incoming* wavefront by scanning its neighbor list, which
+    /// is only correct under this guarantee. Views over directed state
+    /// graphs (e.g. the routing crate's valley-free product graph) must
+    /// keep the default `false`; the kernel then stays top-down, which is
+    /// always correct.
+    ///
+    /// [`for_each_neighbor`]: GraphView::for_each_neighbor
+    fn is_symmetric(&self) -> bool {
+        false
+    }
 }
 
 impl<V: GraphView> GraphView for &V {
@@ -63,6 +79,10 @@ impl<V: GraphView> GraphView for &V {
 
     fn contains_node(&self, v: NodeId) -> bool {
         (**self).contains_node(v)
+    }
+
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
     }
 }
 
@@ -89,6 +109,10 @@ impl GraphView for FullView<'_> {
         for &v in self.g.neighbors(u) {
             visit(v);
         }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true // the CSR graph stores undirected edges in both rows
     }
 }
 
@@ -121,6 +145,10 @@ impl GraphView for DominatedView<'_> {
                 visit(v);
             }
         }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true // `u ∈ B ∨ v ∈ B` is symmetric in (u, v)
     }
 }
 
@@ -160,6 +188,10 @@ impl GraphView for InducedView<'_> {
     #[inline]
     fn contains_node(&self, v: NodeId) -> bool {
         self.allowed.contains(v)
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true // both-endpoints-allowed is symmetric in (u, v)
     }
 }
 
@@ -225,6 +257,12 @@ impl<V: GraphView> GraphView for MaskedView<'_, V> {
     #[inline]
     fn contains_node(&self, v: NodeId) -> bool {
         self.inner.contains_node(v) && !self.failed_nodes.is_some_and(|f| f.contains(v))
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // Node and undirected-edge masks preserve symmetry, so the mask
+        // is exactly as symmetric as what it wraps.
+        self.inner.is_symmetric()
     }
 }
 

@@ -79,6 +79,72 @@ fn closeness_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn closeness_exact_msbfs_bit_identical() {
+    // Exact closeness is the msbfs-backed fan-out: every 64-source lane
+    // batch runs inside a `par` chunk, so this pins the kernel's
+    // batch-and-merge path (not just the sampled subset) across worker
+    // counts, including auto.
+    let g = graph();
+    let want = bits(&closeness_threaded(
+        &g,
+        None,
+        &mut ChaCha8Rng::seed_from_u64(13),
+        1,
+    ));
+    for t in [2, 4, 7, 0] {
+        let got = bits(&closeness_threaded(
+            &g,
+            None,
+            &mut ChaCha8Rng::seed_from_u64(13),
+            t,
+        ));
+        assert_eq!(got, want, "exact msbfs closeness diverged at threads={t}");
+    }
+}
+
+#[test]
+fn msbfs_batch_fanout_bit_identical() {
+    // Drive the kernel directly through the deterministic executor the
+    // way the library consumers do — one 64-source batch per chunk —
+    // and require the merged per-level pair counts to be bit-identical
+    // at every thread count.
+    use netgraph::{msbfs, par, with_msbfs, FullView};
+
+    let g = graph();
+    let sources: Vec<netgraph::NodeId> = g.nodes().collect();
+    let run = |threads: usize| -> Vec<u64> {
+        let per_chunk = par::map_chunks(&sources, msbfs::LANES, threads, |batch| {
+            let mut levels = Vec::new();
+            with_msbfs(|arena| {
+                arena.run(FullView::new(&g), batch, u32::MAX, |wf| {
+                    let l = wf.level() as usize;
+                    if levels.len() <= l {
+                        levels.resize(l + 1, 0u64);
+                    }
+                    levels[l] += wf.new_pairs();
+                });
+            });
+            levels
+        });
+        let mut merged = Vec::new();
+        for levels in per_chunk {
+            if merged.len() < levels.len() {
+                merged.resize(levels.len(), 0u64);
+            }
+            for (slot, v) in merged.iter_mut().zip(levels) {
+                *slot += v;
+            }
+        }
+        merged
+    };
+    let want = run(1);
+    assert!(want.iter().sum::<u64>() > 0, "traversal reached something");
+    for t in THREADS {
+        assert_eq!(run(t), want, "msbfs fan-out diverged at threads={t}");
+    }
+}
+
+#[test]
 fn auto_thread_count_matches_too() {
     // threads = 0 resolves to the machine's parallelism — whatever that
     // is, the answer must not move.

@@ -1,4 +1,4 @@
-//! The R1-R6 rule set and per-file checking.
+//! The R1-R7 rule set and per-file checking.
 
 use crate::scanner;
 use crate::Violation;
@@ -21,10 +21,16 @@ pub enum Rule {
     /// through `netgraph::traverse` (independent re-verification code is
     /// allowlisted).
     NoAdhocBfs,
+    /// No hand-rolled frontier/word-manipulation loops (`count_ones`,
+    /// `trailing_zeros`, `leading_zeros`) in product library code outside
+    /// `netgraph/src/msbfs.rs` and `netgraph/src/nodeset.rs`: bit-level
+    /// set machinery belongs to the kernel, consumers use its `LaneSet` /
+    /// `Wavefront` / `NodeSet` APIs.
+    NoAdhocWordOps,
 }
 
 impl Rule {
-    /// Short stable identifier (`R1`..`R6`) used in reports and allowlists.
+    /// Short stable identifier (`R1`..`R7`) used in reports and allowlists.
     pub fn id(self) -> &'static str {
         match self {
             Rule::NoUnwrap => "R1",
@@ -33,6 +39,7 @@ impl Rule {
             Rule::NoPrintInLib => "R4",
             Rule::TodoNeedsIssue => "R5",
             Rule::NoAdhocBfs => "R6",
+            Rule::NoAdhocWordOps => "R7",
         }
     }
 
@@ -45,6 +52,7 @@ impl Rule {
             "R4" => Some(Rule::NoPrintInLib),
             "R5" => Some(Rule::TodoNeedsIssue),
             "R6" => Some(Rule::NoAdhocBfs),
+            "R7" => Some(Rule::NoAdhocWordOps),
             _ => None,
         }
     }
@@ -61,6 +69,9 @@ impl Rule {
             Rule::TodoNeedsIssue => "TODO/FIXME must reference an issue (#N)",
             Rule::NoAdhocBfs => {
                 "no ad-hoc VecDeque BFS in library code (use netgraph::traverse + GraphView)"
+            }
+            Rule::NoAdhocWordOps => {
+                "no hand-rolled word-manipulation loops in library code (use netgraph::msbfs / NodeSet)"
             }
         }
     }
@@ -177,6 +188,24 @@ pub fn check_file(path: &str, text: &str) -> Vec<Violation> {
             && code.contains("VecDeque")
         {
             push(&mut out, Rule::NoAdhocBfs, lineno, raw);
+        }
+
+        // R7: word-level bit manipulation in product library code belongs
+        // to the two files that own the bitset machinery. Like R6, the
+        // token match is deliberately coarse — popcount/ctz loops are the
+        // signature of a hand-rolled frontier or lane sweep, and the
+        // msbfs/nodeset APIs are the sanctioned way to get one.
+        // Pre-existing coalition-mask arithmetic in economics is
+        // allowlisted, not exempted here.
+        if class == FileClass::ProductLib
+            && !scanned.in_cfg_test
+            && path != "crates/netgraph/src/msbfs.rs"
+            && path != "crates/netgraph/src/nodeset.rs"
+            && (code.contains(".count_ones(")
+                || code.contains(".trailing_zeros(")
+                || code.contains(".leading_zeros("))
+        {
+            push(&mut out, Rule::NoAdhocWordOps, lineno, raw);
         }
 
         // R5: to-do/fixme markers need an issue reference on the line.
@@ -359,6 +388,38 @@ mod tests {
     }
 
     #[test]
+    fn r7_confines_word_ops_to_the_bitset_files() {
+        let src = "let c = mask.count_ones();\nlet b = mask.trailing_zeros();\nlet l = mask.leading_zeros();\n";
+        // Product library code outside the kernel: all three lines fire.
+        let v = check_file("crates/brokerset/src/coverage.rs", src);
+        assert_eq!(
+            v.iter().filter(|v| v.rule == Rule::NoAdhocWordOps).count(),
+            3
+        );
+        // The kernel and the bitset own the word loops.
+        for path in [
+            "crates/netgraph/src/msbfs.rs",
+            "crates/netgraph/src/nodeset.rs",
+        ] {
+            let v = check_file(path, src);
+            assert!(v.iter().all(|v| v.rule != Rule::NoAdhocWordOps), "{path}");
+        }
+        // Tests, benches and bins may bit-twiddle freely.
+        for path in [
+            "crates/netgraph/tests/engine_props.rs",
+            "benches/b.rs",
+            "src/bin/cli.rs",
+        ] {
+            let v = check_file(path, src);
+            assert!(v.iter().all(|v| v.rule != Rule::NoAdhocWordOps), "{path}");
+        }
+        // #[cfg(test)] modules inside product libs are exempt too.
+        let src = "#[cfg(test)]\nmod t { fn f() { 3u32.count_ones(); } }\n";
+        let v = check_file("crates/economics/src/shapley.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoAdhocWordOps));
+    }
+
+    #[test]
     fn rule_ids_roundtrip() {
         for r in [
             Rule::NoUnwrap,
@@ -367,6 +428,7 @@ mod tests {
             Rule::NoPrintInLib,
             Rule::TodoNeedsIssue,
             Rule::NoAdhocBfs,
+            Rule::NoAdhocWordOps,
         ] {
             assert_eq!(Rule::from_id(r.id()), Some(r));
             assert!(!r.describe().is_empty());
