@@ -34,6 +34,29 @@ fi
 
 run cargo run --offline -q -p xtask -- lint
 
+# Warning gate: a clean `cargo build` in BOTH feature states. The obs
+# feature must not introduce warnings (its macros expand differently in
+# each state), and a warning-free default build is the baseline anyway.
+build_warning_free() {
+    echo "==> cargo build --workspace $* (deny warnings)"
+    local log
+    log="$(mktemp)"
+    cargo build --offline --workspace "$@" 2>"$log" || {
+        cat "$log" >&2
+        rm -f "$log"
+        return 1
+    }
+    if grep -E "^warning" "$log" >/dev/null; then
+        echo "==> build warnings under '$*':" >&2
+        cat "$log" >&2
+        rm -f "$log"
+        return 1
+    fi
+    rm -f "$log"
+}
+build_warning_free
+build_warning_free --features obs
+
 # Determinism gate: the parallel executors must be bit-identical to their
 # sequential counterparts at every thread count. Run explicitly (they are
 # also part of the workspace suite) so a violation is named, not buried.
@@ -46,6 +69,18 @@ run cargo test --offline -q -p brokerset --test determinism
 run cargo test --offline -q -p netgraph --test msbfs_props
 run cargo test --offline -q -p routing --test msbfs_valleyfree
 
+# Observability gates: the obs contract suite in both feature states
+# (macro unit-expansion, bucket math, thread-count-invariant snapshots),
+# the economics axioms, and the golden result snapshots for table3/fig2a.
+run cargo test --offline -q -p netgraph --test obs
+run cargo test --offline -q -p netgraph --test obs --features obs
+run cargo test --offline -q -p economics --test axioms
+run cargo test --offline -q -p bench --test bins golden
+
 run cargo test --offline -q --workspace
+
+# The workspace suite again with instrumentation compiled in: metrics
+# must never change results, only observe them.
+run cargo test --offline -q --workspace --features obs
 
 echo "==> CI gate passed"

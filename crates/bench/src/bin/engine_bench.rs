@@ -28,12 +28,34 @@
 //! old keys keep their meaning (`lhop_exact_*` now reflects the msbfs
 //! evaluator, which is the shipping path).
 //!
-//! Usage: `engine_bench [tiny|quarter|full] [seed] [--threads N]`
+//! ## Cross-build identity witness
+//!
+//! `curve_checksum` in the JSON is an FNV-1a hash over the exact bit
+//! patterns of the shipping curve (and the per-source reference counts).
+//! Timings differ run to run, but this field must be identical between
+//! a default build and a `--features obs` build of the same
+//! scale/seed — the observability macros must not perturb results.
+//!
+//! Usage: `engine_bench [tiny|quarter|full] [seed] [--threads N]
+//! [--obs PATH]`
 
 use bench::{header, RunConfig};
 use brokerset::{max_subgraph_greedy, SourceMode};
 use netgraph::{par, with_arena, DominatedView, FullView, Graph, NodeId, NodeSet, TraversalArena};
 use std::time::Instant;
+
+/// FNV-1a over a stream of u64 values (fed little-endian byte-wise):
+/// the deterministic fingerprint of a curve's exact bit patterns.
+fn fnv1a(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
 
 /// Median wall-clock seconds over `reps` runs of `f`.
 fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -124,6 +146,22 @@ fn main() {
         shipping.fractions, reference_fractions,
         "msbfs l-hop curve diverged from the per-source reference"
     );
+    // Bit-identity across thread counts, and the cross-build witness:
+    // the checksum must not change between feature-on and feature-off
+    // builds of the same scale/seed (see the module docs).
+    let parallel = brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, 0);
+    assert_eq!(
+        shipping.fractions, parallel.fractions,
+        "l-hop curve is thread-count dependent"
+    );
+    let curve_checksum = fnv1a(
+        shipping
+            .fractions
+            .iter()
+            .map(|f| f.to_bits())
+            .chain(reference.iter().copied()),
+    );
+    println!("  curve_checksum: {curve_checksum:016x} (must match across obs on/off builds)");
 
     let mut rows = Vec::new();
     println!("  exact l-hop, msbfs vs per-source (max_l = {MAX_L}, {n} sources):");
@@ -169,10 +207,13 @@ fn main() {
         "lhop_parallel_speedup": lhop_speedup,
         "lhop_rows": rows,
         "msbfs_vs_per_source_par_speedup": msbfs_par_speedup,
+        "curve_checksum": format!("{curve_checksum:016x}"),
+        "obs_enabled": netgraph::obs::enabled(),
     });
     let record = bench::ExperimentRecord::new("engine_bench", &rc, data);
     let json = serde_json::to_string_pretty(&record).expect("serialize bench record");
     let path = std::path::Path::new("BENCH_engine.json");
     std::fs::write(path, json).expect("write BENCH_engine.json");
     println!("  wrote {}", path.display());
+    rc.dump_obs("engine_bench").expect("--obs write failed");
 }

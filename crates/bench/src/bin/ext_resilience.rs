@@ -3,7 +3,8 @@
 //! Targeted defection of the founding members versus random failures,
 //! and the recovery achievable with greedy replacement recruiting.
 //!
-//! Usage: `ext_resilience [tiny|quarter|full] [seed] [--threads N]`
+//! Usage: `ext_resilience [tiny|quarter|full] [seed] [--threads N]
+//! [--obs PATH]`
 
 use bench::{header, pct, RunConfig};
 use brokerset::{
@@ -90,4 +91,5 @@ fn main() {
         pct(broken),
         pct(fixed)
     );
+    rc.dump_obs("ext_resilience").expect("--obs write failed");
 }

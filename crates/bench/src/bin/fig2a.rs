@@ -39,6 +39,7 @@ fn main() {
         "{:<12} {:<12} {:<12}",
         "quantile", "set size", "fraction of V"
     );
+    let mut quantiles: Vec<(String, serde_json::Value)> = Vec::new();
     for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
         let idx = ((sizes.len() - 1) as f64 * q).round() as usize;
         println!(
@@ -47,6 +48,10 @@ fn main() {
             sizes[idx],
             pct(sizes[idx] as f64 / n as f64)
         );
+        quantiles.push((
+            format!("p{:.0}", q * 100.0),
+            serde_json::Value::from(sizes[idx]),
+        ));
     }
     let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
     println!(
@@ -62,4 +67,16 @@ fn main() {
         gds.len(),
         pct(gds.len() as f64 / n as f64)
     );
+    rc.record(
+        "fig2a",
+        serde_json::json!({
+            "runs": runs,
+            "quantiles": serde_json::Value::Object(quantiles),
+            "mean_sc_size": mean,
+            "gds_size": gds.len(),
+            "node_count": n,
+        }),
+    )
+    .expect("--record write failed");
+    rc.dump_obs("fig2a").expect("--obs write failed");
 }

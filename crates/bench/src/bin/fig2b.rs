@@ -5,7 +5,7 @@
 //! ("ASesWithIXPs"). Two panels are printed: the saturated connectivity
 //! as the broker budget grows, and the l-hop curves at the 6.8 % budget.
 //!
-//! Usage: `fig2b [tiny|quarter|full] [seed] [--threads N]`
+//! Usage: `fig2b [tiny|quarter|full] [seed] [--threads N] [--obs PATH]`
 
 use bench::curve_threaded;
 use bench::{header, pct, RunConfig};
@@ -105,6 +105,7 @@ fn main() {
             .collect();
         println!("{name:<14} {cells}");
     }
+    rc.dump_obs("fig2b").expect("--obs write failed");
 }
 
 fn sat(g: &netgraph::Graph, sel: &BrokerSelection) -> f64 {

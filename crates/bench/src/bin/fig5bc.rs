@@ -7,7 +7,7 @@
 //! the paper: 30 % conversion brings a 1,000-broker set to 72.5 % and the
 //! 3,540-alliance to 84.68 %.
 //!
-//! Usage: `fig5bc [tiny|quarter|full] [seed] [--threads N]`
+//! Usage: `fig5bc [tiny|quarter|full] [seed] [--threads N] [--obs PATH]`
 
 use bench::{header, pct, RunConfig};
 use brokerset::{max_subgraph_greedy, saturated_connectivity};
@@ -64,4 +64,5 @@ fn main() {
         "\npaper: sharp directional drop; with 30% conversion a 1,000-broker\n\
          set reaches 72.5% and the 3,540-alliance 84.68%"
     );
+    rc.dump_obs("fig5bc").expect("--obs write failed");
 }

@@ -7,7 +7,8 @@
 //! topology's pair distances saturate — the (α, β) structure Algorithm 2
 //! relies on.
 //!
-//! Usage: `table3 [tiny|quarter|full] [seed] [--threads N]`
+//! Usage: `table3 [tiny|quarter|full] [seed] [--threads N] [--obs PATH]
+//! [--record DIR]`
 
 use bench::curve_threaded;
 use bench::{header, pct, RunConfig};
@@ -48,6 +49,7 @@ fn main() {
         "topology",
         (1..=max_l).map(|l| format!("l={l:<7}")).collect::<String>()
     );
+    let mut recorded: Vec<(String, serde_json::Value)> = Vec::new();
     for (name, graph) in rows {
         let curve = curve_threaded(
             graph,
@@ -62,9 +64,20 @@ fn main() {
             .map(|&f| format!("{:<8}", pct(f)))
             .collect();
         println!("{name:<20} {cells}");
+        recorded.push((
+            name.to_string(),
+            serde_json::json!({
+                "fractions": curve.fractions.clone(),
+                "std_error": curve.std_error.map_or(serde_json::Value::Null, serde_json::Value::from),
+                "sources": curve.sources,
+            }),
+        ));
     }
     println!(
         "\npaper: ASes-with-IXPs reaches 99.21% at l = 4 (the (0.99, 4)-graph\n\
          property); WS stays far below at small l; ER needs larger l than BA."
     );
+    rc.record("table3", serde_json::Value::Object(recorded))
+        .expect("--record write failed");
+    rc.dump_obs("table3").expect("--obs write failed");
 }

@@ -12,8 +12,9 @@ use brokerset::SourceMode;
 use topology::{Internet, InternetConfig, Scale};
 
 /// Parsed command line shared by all experiment binaries:
-/// `<bin> [tiny|quarter|full] [seed] [--threads N]`.
-#[derive(Debug, Clone, Copy)]
+/// `<bin> [tiny|quarter|full] [seed] [--threads N] [--obs PATH]
+/// [--record DIR]`.
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Topology scale.
     pub scale: Scale,
@@ -22,6 +23,13 @@ pub struct RunConfig {
     /// Worker threads for the parallel evaluators (`0` = all hardware
     /// threads). Results are identical at every setting.
     pub threads: usize,
+    /// Where to dump a `netgraph::obs` metrics snapshot at the end of
+    /// the run (`--obs PATH`). Meaningful only in `--features obs`
+    /// builds; otherwise the dump is empty and says so.
+    pub obs: Option<std::path::PathBuf>,
+    /// Directory to save this run's [`ExperimentRecord`] under
+    /// (`--record DIR`) for the golden-snapshot tests.
+    pub record: Option<std::path::PathBuf>,
 }
 
 impl RunConfig {
@@ -44,7 +52,10 @@ impl RunConfig {
             Ok(parsed) => parsed,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: <bin> [tiny|quarter|full] [seed] [--threads N]{usage_extra}");
+                eprintln!(
+                    "usage: <bin> [tiny|quarter|full] [seed] [--threads N] \
+                     [--obs PATH] [--record DIR]{usage_extra}"
+                );
                 std::process::exit(2);
             }
         }
@@ -77,6 +88,8 @@ impl RunConfig {
             scale: Scale::Quarter,
             seed: 2014,
             threads: 0,
+            obs: None,
+            record: None,
         };
         let mut parsed = ParsedExtras {
             flags: Vec::new(),
@@ -90,6 +103,12 @@ impl RunConfig {
                 rc.threads = value
                     .parse()
                     .map_err(|_| format!("--threads expects a number, got '{value}'"))?;
+            } else if arg == "--obs" {
+                let value = iter.next().ok_or("--obs expects a file path")?;
+                rc.obs = Some(std::path::PathBuf::from(value));
+            } else if arg == "--record" {
+                let value = iter.next().ok_or("--record expects a directory")?;
+                rc.record = Some(std::path::PathBuf::from(value));
             } else if extras.value_flags.contains(&arg.as_str()) {
                 let value = iter.next().ok_or(format!("{arg} expects a value"))?;
                 parsed.flags.push((arg, value));
@@ -150,6 +169,42 @@ impl RunConfig {
         ]
     }
 
+    /// Dump a `netgraph::obs` snapshot to the `--obs` path, if one was
+    /// given, and print a one-line digest of the run's engine behaviour
+    /// to stderr (arena-pool hit rate, push vs pull expansions). A no-op
+    /// without `--obs`; in a build without the `obs` feature the dump
+    /// still happens but contains no metrics (and the digest says so).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the snapshot write failure.
+    pub fn dump_obs(&self, id: &str) -> std::io::Result<()> {
+        let Some(path) = &self.obs else {
+            return Ok(());
+        };
+        let snap = netgraph::obs::snapshot();
+        std::fs::write(path, snap.to_json())?;
+        eprintln!("[obs] {id}: {}", obs_digest(&snap));
+        eprintln!("[obs] snapshot written to {}", path.display());
+        Ok(())
+    }
+
+    /// Save `data` as an [`ExperimentRecord`] under the `--record`
+    /// directory, if one was given. A no-op without `--record`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization errors from
+    /// [`ExperimentRecord::save`].
+    pub fn record(&self, id: &str, data: serde_json::Value) -> std::io::Result<()> {
+        let Some(dir) = &self.record else {
+            return Ok(());
+        };
+        let path = ExperimentRecord::new(id, self, data).save(dir)?;
+        eprintln!("[record] {id}: results written to {}", path.display());
+        Ok(())
+    }
+
     /// Source sampling mode adapted to scale: exact for tiny *and*
     /// quarter topologies — the 64-lane `netgraph::msbfs` kernel makes an
     /// every-vertex-a-source sweep at 13k nodes cheaper than the old
@@ -199,6 +254,31 @@ impl ParsedExtras {
 
 fn budget(n: usize, frac: f64) -> usize {
     ((n as f64 * frac).round() as usize).max(1)
+}
+
+/// One-line human digest of an obs snapshot: the numbers a profiling run
+/// checks first. Reports "instrumentation off" for feature-off builds.
+pub fn obs_digest(snap: &netgraph::obs::Snapshot) -> String {
+    if !netgraph::obs::enabled() {
+        return "instrumentation off (rebuild with --features obs)".to_string();
+    }
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    let hit_rate = |acq: u64, fresh: u64| {
+        if acq + fresh == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * acq as f64 / (acq + fresh) as f64)
+        }
+    };
+    format!(
+        "msbfs pool hit {} | arena pool hit {} | push/pull expansions {}/{} | levels {} | par chunks {}",
+        hit_rate(c("msbfs.pool.acquire"), c("msbfs.pool.fresh")),
+        hit_rate(c("arena.pool.acquire"), c("arena.pool.fresh")),
+        c("msbfs.push_expansions"),
+        c("msbfs.pull_expansions"),
+        c("msbfs.levels"),
+        c("par.chunks"),
+    )
 }
 
 /// Evaluate an l-hop curve using all available cores (identical output
@@ -292,6 +372,8 @@ mod tests {
             scale: Scale::Full,
             seed: 1,
             threads: 0,
+            obs: None,
+            record: None,
         };
         let b = rc.budgets(52_079);
         assert_eq!(b, [99, 990, 3541]);
@@ -305,18 +387,30 @@ mod tests {
 
     #[test]
     fn parse_defaults_and_full_form() {
-        let rc = parse(&[]).unwrap();
+        let rc = parse(&[]).expect("empty argv uses defaults");
         assert!(matches!(rc.scale, Scale::Quarter));
         assert_eq!((rc.seed, rc.threads), (2014, 0));
 
-        let rc = parse(&["tiny", "7", "--threads", "4"]).unwrap();
+        let rc = parse(&["tiny", "7", "--threads", "4"]).expect("full form parses");
         assert!(matches!(rc.scale, Scale::Tiny));
         assert_eq!((rc.seed, rc.threads), (7, 4));
 
         // --threads may appear anywhere, including before positionals.
-        let rc = parse(&["--threads", "2", "full"]).unwrap();
+        let rc = parse(&["--threads", "2", "full"]).expect("flag before positional parses");
         assert!(matches!(rc.scale, Scale::Full));
         assert_eq!(rc.threads, 2);
+    }
+
+    #[test]
+    fn parse_obs_and_record_flags() {
+        let rc = parse(&["tiny", "7", "--obs", "snap.json", "--record", "out"])
+            .expect("--obs/--record parse");
+        assert_eq!(rc.obs.as_deref(), Some(std::path::Path::new("snap.json")));
+        assert_eq!(rc.record.as_deref(), Some(std::path::Path::new("out")));
+        let rc = parse(&[]).expect("empty argv uses defaults");
+        assert!(rc.obs.is_none() && rc.record.is_none());
+        assert!(parse(&["--obs"]).unwrap_err().contains("expects"));
+        assert!(parse(&["--record"]).unwrap_err().contains("expects"));
     }
 
     #[test]
@@ -342,7 +436,8 @@ mod tests {
         let run =
             |argv: &[&str]| RunConfig::parse_extended(argv.iter().map(|s| s.to_string()), extras);
 
-        let (rc, extra) = run(&["tiny", "7", "20", "--dot", "out.dot"]).unwrap();
+        let (rc, extra) =
+            run(&["tiny", "7", "20", "--dot", "out.dot"]).expect("declared extras parse");
         assert!(matches!(rc.scale, Scale::Tiny));
         assert_eq!(extra.positionals, vec!["20".to_string()]);
         assert_eq!(extra.flag("--dot"), Some("out.dot"));
@@ -363,6 +458,8 @@ mod tests {
                 scale,
                 seed: 1,
                 threads: 0,
+                obs: None,
+                record: None,
             }
             .source_mode()
         };
@@ -383,6 +480,8 @@ mod tests {
             scale: Scale::Tiny,
             seed: 9,
             threads: 0,
+            obs: None,
+            record: None,
         };
         let rec = ExperimentRecord::new(
             "table1",
@@ -390,9 +489,9 @@ mod tests {
             serde_json::json!({"k": [25, 247], "sat": [0.51, 0.88]}),
         );
         let dir = std::env::temp_dir().join("bench-record-test");
-        let path = rec.save(&dir).unwrap();
-        let text = std::fs::read_to_string(&path).unwrap();
-        let back: ExperimentRecord = serde_json::from_str(&text).unwrap();
+        let path = rec.save(&dir).expect("record saves to temp dir");
+        let text = std::fs::read_to_string(&path).expect("saved record is readable");
+        let back: ExperimentRecord = serde_json::from_str(&text).expect("saved record parses back");
         assert_eq!(back.id, "table1");
         assert_eq!(back.seed, 9);
         assert_eq!(back.data["k"][0], 25);

@@ -1,6 +1,13 @@
 //! Smoke tests: every table/figure/extension binary runs to completion
-//! at tiny scale and prints its headline sections.
+//! at tiny scale and prints its headline sections. The golden-snapshot
+//! tests at the bottom go further: `table3` and `fig2a` at tiny scale /
+//! fixed seed must reproduce the checked-in records under
+//! `tests/goldens/` number for number (floats at relative 1e-9), so an
+//! accidental semantic change to the evaluators fails loudly instead of
+//! silently shifting results. Regenerate after an *intentional* change
+//! with `UPDATE_GOLDENS=1 cargo test -p bench --test bins golden`.
 
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn run(bin: &str, args: &[&str]) -> String {
@@ -112,4 +119,110 @@ fn fig5bc_runs() {
 fn calibrate_runs() {
     let text = run(env!("CARGO_BIN_EXE_calibrate"), &["tiny", "7"]);
     assert!(text.contains("greedy MCB"), "{text}");
+}
+
+// ---------------------------------------------------------------------
+// Golden-snapshot tests
+// ---------------------------------------------------------------------
+
+/// Maximum relative divergence tolerated between a recorded float and
+/// its golden counterpart. Everything recorded is deterministic (fixed
+/// seed, thread-count-invariant evaluators), so this only absorbs
+/// cross-platform libm noise.
+const REL_EPS: f64 = 1e-9;
+
+fn goldens_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+/// Recursively assert structural + numeric equality of two JSON values.
+/// Numbers compare at [`REL_EPS`] relative tolerance; everything else
+/// must match exactly, including object key order (our serializer is
+/// deterministic, so order drift is itself a regression).
+fn assert_json_close(at: &str, got: &serde_json::Value, want: &serde_json::Value) {
+    if let (Some(a), Some(b)) = (got.as_f64(), want.as_f64()) {
+        let scale = 1.0f64.max(a.abs()).max(b.abs());
+        assert!(
+            (a - b).abs() <= REL_EPS * scale,
+            "{at}: {a} differs from golden {b} (rel eps {REL_EPS})"
+        );
+        return;
+    }
+    match (got.as_object(), want.as_object()) {
+        (Some(g), Some(w)) => {
+            let gk: Vec<&str> = g.iter().map(|(k, _)| k.as_str()).collect();
+            let wk: Vec<&str> = w.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(gk, wk, "{at}: object keys diverge from golden");
+            for ((k, gv), (_, wv)) in g.iter().zip(w) {
+                assert_json_close(&format!("{at}.{k}"), gv, wv);
+            }
+            return;
+        }
+        (None, None) => {}
+        _ => panic!("{at}: value kind diverges from golden"),
+    }
+    match (got.as_array(), want.as_array()) {
+        (Some(g), Some(w)) => {
+            assert_eq!(g.len(), w.len(), "{at}: array length diverges from golden");
+            for (i, (gv, wv)) in g.iter().zip(w).enumerate() {
+                assert_json_close(&format!("{at}[{i}]"), gv, wv);
+            }
+            return;
+        }
+        (None, None) => {}
+        _ => panic!("{at}: value kind diverges from golden"),
+    }
+    // Scalars (strings, bools, nulls) and anything else: exact equality.
+    assert_eq!(got, want, "{at}: diverges from golden");
+}
+
+/// Run `bin` with `--record` into a temp dir and compare the produced
+/// `<id>.tiny.json` against `tests/goldens/<id>.tiny.json`. With
+/// `UPDATE_GOLDENS=1` the golden is (re)written instead and the test
+/// passes vacuously.
+fn check_golden(bin: &str, id: &str, args: &[&str]) {
+    let tmp = std::env::temp_dir().join(format!("bench-golden-{id}-{}", std::process::id()));
+    let tmp_str = tmp.to_str().expect("temp dir path is UTF-8").to_string();
+    let mut full: Vec<&str> = args.to_vec();
+    full.extend_from_slice(&["--record", &tmp_str]);
+    run(bin, &full);
+    let produced = tmp.join(format!("{id}.tiny.json"));
+    let got_text = std::fs::read_to_string(&produced)
+        .unwrap_or_else(|e| panic!("reading recorded {}: {e}", produced.display()));
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let golden_path = goldens_dir().join(format!("{id}.tiny.json"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(goldens_dir()).expect("create goldens dir");
+        std::fs::write(&golden_path, &got_text).expect("write golden");
+        eprintln!("updated {}", golden_path.display());
+        return;
+    }
+    let want_text = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with UPDATE_GOLDENS=1",
+            golden_path.display()
+        )
+    });
+    let got: serde_json::Value = serde_json::from_str(&got_text).expect("recorded JSON parses");
+    let want: serde_json::Value = serde_json::from_str(&want_text).expect("golden JSON parses");
+    assert_json_close(id, &got, &want);
+}
+
+#[test]
+fn table3_matches_golden_snapshot() {
+    // --threads 2 exercises the parallel executor; the evaluators are
+    // thread-count invariant, so the record must not depend on it.
+    check_golden(
+        env!("CARGO_BIN_EXE_table3"),
+        "table3",
+        &["tiny", "7", "--threads", "2"],
+    );
+}
+
+#[test]
+fn fig2a_matches_golden_snapshot() {
+    check_golden(env!("CARGO_BIN_EXE_fig2a"), "fig2a", &["tiny", "7", "20"]);
 }

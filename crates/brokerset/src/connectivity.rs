@@ -109,6 +109,7 @@ pub(crate) fn run_sources(
     sources: &[NodeId],
 ) -> (Vec<u64>, Vec<f64>) {
     let n = g.node_count();
+    netgraph::counter!("connectivity.sources_evaluated", sources.len() as u64);
     let mut cum = vec![0u64; max_l];
     let mut finals = Vec::with_capacity(sources.len());
     let view = DominatedView::new(g, brokers);

@@ -45,6 +45,8 @@ pub fn shapley_exact<G: CharacteristicFn>(game: &G) -> ShapleyResult {
     let n = game.players();
     assert!(n >= 1, "need at least one player");
     assert!(n <= 20, "exact Shapley capped at 20 players, got {n}");
+    let () = netgraph::counter!("shapley.exact_runs");
+    let () = netgraph::counter!("shapley.coalitions_scanned", 1u64 << n);
     // Precompute |S|-dependent weights: w(s) = s! (n-s-1)! / n!.
     let mut log_fact = vec![0.0f64; n + 1];
     for i in 1..=n {

@@ -53,6 +53,9 @@
 //! - [`alphabeta`] — (α, β)-graph property estimation (Definition 2 of the
 //!   paper).
 //! - [`export`] — DOT / edge-list export for visualization.
+//! - [`obs`] — zero-overhead observability: [`counter!`], [`histogram!`]
+//!   and [`span!`] macros (no-ops unless the `obs` cargo feature is on)
+//!   plus the JSON-serializable [`obs::Snapshot`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +73,7 @@ pub mod graph;
 pub mod metrics;
 pub mod msbfs;
 pub mod nodeset;
+pub mod obs;
 pub mod par;
 pub mod traverse;
 pub mod validate;

@@ -249,6 +249,8 @@ impl MsBfsArena {
             self.front.clear();
             return 0;
         }
+        let () = crate::counter!("msbfs.runs");
+        let () = crate::histogram!("msbfs.lane_occupancy", u64::from(seeded.count_ones()));
 
         let pull_ok = view.is_symmetric();
         let MsBfsArena {
@@ -276,6 +278,7 @@ impl MsBfsArena {
             if front.is_empty() {
                 break;
             }
+            let () = crate::counter!("msbfs.levels");
             on_level(&Wavefront {
                 level,
                 newly: front,
@@ -291,7 +294,16 @@ impl MsBfsArena {
             };
             if pull {
                 // Bottom-up: every vertex with undiscovered lanes gathers
-                // the frontier masks of its (symmetric) neighbors.
+                // the frontier masks of its (symmetric) neighbors. The
+                // obs arguments below are evaluated only in `obs` builds.
+                let () = crate::histogram!(
+                    "msbfs.pull_frontier_permille",
+                    (front.len() * 1000 / n.max(1)) as u64
+                );
+                let () = crate::counter!(
+                    "msbfs.pull_expansions",
+                    (0..n).filter(|&i| seen[i] != seeded).count() as u64
+                );
                 for i in 0..n {
                     if seen[i] == seeded {
                         continue;
@@ -303,6 +315,7 @@ impl MsBfsArena {
             } else {
                 // Top-down: every frontier vertex scatters its mask
                 // across its surviving edges.
+                let () = crate::counter!("msbfs.push_expansions", front.len() as u64);
                 for &u in front.iter() {
                     let fu = frontier[u.index()];
                     view.for_each_neighbor(u, |v| next[v.index()] |= fu);
@@ -342,8 +355,14 @@ thread_local! {
 /// of [`crate::with_arena`]. Reentrant calls fall back to a fresh arena.
 pub fn with_msbfs<R>(f: impl FnOnce(&mut MsBfsArena) -> R) -> R {
     MSBFS_POOL.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut arena) => f(&mut arena),
-        Err(_) => f(&mut MsBfsArena::new()),
+        Ok(mut arena) => {
+            let () = crate::counter!("msbfs.pool.acquire");
+            f(&mut arena)
+        }
+        Err(_) => {
+            let () = crate::counter!("msbfs.pool.fresh");
+            f(&mut MsBfsArena::new())
+        }
     })
 }
 

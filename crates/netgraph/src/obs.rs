@@ -1,0 +1,584 @@
+//! Zero-overhead observability: counters, log2 histograms, span timers.
+//!
+//! The traversal/evaluation stack (msbfs, the arena pool, the parallel
+//! executor, the connectivity evaluators) is deliberately a black box in
+//! release builds — no prints, no logging dependencies. This module makes
+//! its internal behaviour *inspectable on demand* without giving up the
+//! zero-dependency, zero-overhead-by-default posture:
+//!
+//! - **Counters** and **histograms** are `static`s registered lazily in a
+//!   global registry. The hot path of [`counter!`](crate::counter) is one
+//!   completed-`Once` check plus one `fetch_add(Relaxed)`; a
+//!   [`histogram!`](crate::histogram) record adds one `leading_zeros`
+//!   bucket computation. No locks, no allocation, no formatting.
+//! - With the `obs` cargo **feature disabled** (the default), the macros
+//!   expand to `()` — literally no code — so instrumented kernels are
+//!   bit-for-bit the uninstrumented ones. Feature selection happens at
+//!   *this* crate's compile time (the macro definitions themselves are
+//!   `#[cfg]`-gated), so downstream crates cannot accidentally toggle it
+//!   per-consumer.
+//! - **Span timers** ([`span!`](crate::span)) are RAII guards that record
+//!   elapsed wall-clock nanoseconds into a histogram on drop, with a
+//!   thread-local nesting depth. This module is the only product-library
+//!   home of `std::time::Instant` (lint rule R8 enforces that).
+//! - A [`Snapshot`] captures every registered metric, merged by name and
+//!   sorted, and serializes to JSON with a hand-rolled writer — snapshots
+//!   of the same program state are deterministic byte-for-byte.
+//!
+//! Metrics are process-global and cumulative; [`reset`] zeroes them (for
+//! delta measurements and tests). All mutation is relaxed-atomic: totals
+//! are exact because every increment lands, even though a snapshot taken
+//! *concurrently* with running work may see a mid-flight mix.
+//!
+//! ## Naming convention
+//!
+//! `layer.metric` with dots: `msbfs.levels`, `arena.pool.acquire`,
+//! `par.chunks_per_worker`. Two macro call sites may share a name; their
+//! contributions merge in the snapshot.
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i`
+/// (`i ≥ 1`) holds values in `[2^(i-1), 2^i - 1]`. 64 value buckets cover
+/// the whole `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Whether this build carries the instrumentation (the `obs` cargo
+/// feature of `netgraph`). When `false`, the macros expand to `()` and
+/// [`snapshot`] is always empty.
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+/// Lower bound of histogram bucket `i` (see [`HISTOGRAM_BUCKETS`]).
+///
+/// # Panics
+///
+/// Panics when `i >= HISTOGRAM_BUCKETS`.
+pub fn bucket_low(i: usize) -> u64 {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// The bucket index a value lands in: 0 for 0, else `64 - leading_zeros`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+}
+
+#[cfg(feature = "obs")]
+mod core {
+    use super::{bucket_index, HISTOGRAM_BUCKETS};
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, Once, PoisonError};
+    use std::time::Instant;
+
+    /// A named monotonically increasing (modulo `u64` wrap) counter.
+    ///
+    /// Designed to live in a `static` (see [`counter!`](crate::counter)):
+    /// construction is `const`, registration happens on first use.
+    #[derive(Debug)]
+    pub struct Counter {
+        name: &'static str,
+        value: AtomicU64,
+        registered: Once,
+    }
+
+    impl Counter {
+        /// A zeroed counter named `name` (const; use in a `static`).
+        pub const fn new(name: &'static str) -> Counter {
+            Counter {
+                name,
+                value: AtomicU64::new(0),
+                registered: Once::new(),
+            }
+        }
+
+        /// Add `n` (wrapping on `u64` overflow, like the underlying
+        /// `fetch_add`). First call registers the counter globally.
+        #[inline]
+        pub fn add(&'static self, n: u64) {
+            self.registered
+                .call_once(|| register(Metric::Counter(self)));
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+
+        /// Current value.
+        pub fn get(&self) -> u64 {
+            self.value.load(Ordering::Relaxed)
+        }
+
+        /// The counter's registry name.
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+
+        fn reset(&self) {
+            self.value.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A named log2-bucketed histogram of `u64` samples.
+    ///
+    /// Tracks per-bucket counts plus the exact total count and sum, so a
+    /// snapshot can report both the distribution shape and the mean.
+    #[derive(Debug)]
+    pub struct Histogram {
+        name: &'static str,
+        buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+        count: AtomicU64,
+        sum: AtomicU64,
+        registered: Once,
+    }
+
+    impl Histogram {
+        /// An empty histogram named `name` (const; use in a `static`).
+        pub const fn new(name: &'static str) -> Histogram {
+            Histogram {
+                name,
+                buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                registered: Once::new(),
+            }
+        }
+
+        /// Record one sample. First call registers the histogram.
+        #[inline]
+        pub fn record(&'static self, v: u64) {
+            self.registered
+                .call_once(|| register(Metric::Histogram(self)));
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+
+        /// The histogram's registry name.
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+
+        /// `(count, sum, per-bucket counts)` at this instant.
+        pub fn read(&self) -> (u64, u64, [u64; HISTOGRAM_BUCKETS]) {
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for (slot, b) in buckets.iter_mut().zip(&self.buckets) {
+                *slot = b.load(Ordering::Relaxed);
+            }
+            (
+                self.count.load(Ordering::Relaxed),
+                self.sum.load(Ordering::Relaxed),
+                buckets,
+            )
+        }
+
+        fn reset(&self) {
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            self.count.store(0, Ordering::Relaxed);
+            self.sum.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// An RAII span timer: created via [`span!`](crate::span), records
+    /// the elapsed wall-clock nanoseconds into its histogram on drop.
+    /// Spans nest; [`span_depth`] reports this thread's current depth.
+    #[derive(Debug)]
+    pub struct Span {
+        hist: &'static Histogram,
+        start: Instant,
+    }
+
+    thread_local! {
+        static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+    }
+
+    /// This thread's current span-nesting depth (0 outside any span).
+    pub fn span_depth() -> u32 {
+        SPAN_DEPTH.with(Cell::get)
+    }
+
+    impl Span {
+        /// Start timing; the guard records into `hist` when dropped.
+        pub fn start(hist: &'static Histogram) -> Span {
+            SPAN_DEPTH.with(|d| d.set(d.get() + 1));
+            Span {
+                hist,
+                start: Instant::now(),
+            }
+        }
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            let ns = self.start.elapsed().as_nanos();
+            self.hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
+            SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+
+    /// A registered metric (static counters/histograms, by reference).
+    enum Metric {
+        Counter(&'static Counter),
+        Histogram(&'static Histogram),
+    }
+
+    static REGISTRY: Mutex<Vec<Metric>> = Mutex::new(Vec::new());
+
+    fn register(m: Metric) {
+        REGISTRY
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(m);
+    }
+
+    pub(super) fn gather() -> super::Snapshot {
+        use std::collections::BTreeMap;
+        let reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+        // Merge by name (two macro sites may share one metric name);
+        // BTreeMap gives the deterministic name-sorted order for free.
+        let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut hists: BTreeMap<&str, (u64, u64, [u64; HISTOGRAM_BUCKETS])> = BTreeMap::new();
+        for m in reg.iter() {
+            match m {
+                Metric::Counter(c) => {
+                    let entry = counters.entry(c.name()).or_insert(0);
+                    *entry = entry.wrapping_add(c.get());
+                }
+                Metric::Histogram(h) => {
+                    let (count, sum, buckets) = h.read();
+                    let entry = hists
+                        .entry(h.name())
+                        .or_insert((0, 0, [0u64; HISTOGRAM_BUCKETS]));
+                    entry.0 = entry.0.wrapping_add(count);
+                    entry.1 = entry.1.wrapping_add(sum);
+                    for (slot, b) in entry.2.iter_mut().zip(buckets) {
+                        *slot = slot.wrapping_add(b);
+                    }
+                }
+            }
+        }
+        super::Snapshot {
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| super::CounterSnapshot {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            histograms: hists
+                .into_iter()
+                .map(|(name, (count, sum, buckets))| super::HistogramSnapshot {
+                    name: name.to_string(),
+                    count,
+                    sum,
+                    buckets: buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c != 0)
+                        .map(|(i, &c)| super::BucketCount {
+                            low: super::bucket_low(i),
+                            count: c,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    pub(super) fn reset_all() {
+        let reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+        for m in reg.iter() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use core::{span_depth, Counter, Histogram, Span};
+
+/// One counter in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name (`layer.metric`).
+    pub name: String,
+    /// Cumulative value at snapshot time.
+    pub value: u64,
+}
+
+/// One non-empty histogram bucket in a [`Snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive lower bound of the bucket ([`bucket_low`]).
+    pub low: u64,
+    /// Samples that landed in the bucket.
+    pub count: u64,
+}
+
+/// One histogram in a [`Snapshot`]: totals plus the non-zero buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name (`layer.metric`).
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Non-empty buckets, ascending by lower bound.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time capture of every registered metric, merged by name and
+/// sorted, so two snapshots of identical program state render to
+/// identical JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// All counters, ascending by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, ascending by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of the counter called `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The histogram called `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Render as a self-contained JSON document (deterministic: metrics
+    /// are name-sorted and the writer emits no insignificant whitespace
+    /// variation).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"obs_enabled\": ");
+        out.push_str(if enabled() { "true" } else { "false" });
+        out.push_str(",\n  \"counters\": {");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", json_escape(&c.name), c.value));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_escape(&h.name),
+                h.count,
+                h.sum
+            ));
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{}, {}]", b.low, b.count));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Capture every registered metric. Empty when [`enabled`] is `false` or
+/// nothing has been recorded yet.
+pub fn snapshot() -> Snapshot {
+    #[cfg(feature = "obs")]
+    {
+        core::gather()
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        Snapshot::default()
+    }
+}
+
+/// Zero every registered metric (names stay registered). No-op when
+/// [`enabled`] is `false`.
+pub fn reset() {
+    #[cfg(feature = "obs")]
+    core::reset_all();
+}
+
+/// Bump a named counter: `counter!("msbfs.levels")` adds 1,
+/// `counter!("msbfs.levels", n)` adds `n` (a `u64`). Evaluates to `()`.
+///
+/// With the `obs` feature off this expands to `()` — the argument
+/// expressions are **not** evaluated, so keep them side-effect free.
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter!($name, 1u64)
+    };
+    ($name:expr, $n:expr) => {{
+        static __OBS_COUNTER: $crate::obs::Counter = $crate::obs::Counter::new($name);
+        __OBS_COUNTER.add($n);
+    }};
+}
+
+/// Bump a named counter: `counter!("msbfs.levels")` adds 1,
+/// `counter!("msbfs.levels", n)` adds `n` (a `u64`). Evaluates to `()`.
+///
+/// The `obs` feature is off in this build, so the macro expands to `()`
+/// and its arguments are not evaluated.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! counter {
+    ($($args:tt)*) => {
+        ()
+    };
+}
+
+/// Record a `u64` sample into a named log2 histogram:
+/// `histogram!("par.chunks_per_worker", n)`. Evaluates to `()`.
+///
+/// With the `obs` feature off this expands to `()` — the argument
+/// expressions are **not** evaluated, so keep them side-effect free.
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $v:expr) => {{
+        static __OBS_HISTOGRAM: $crate::obs::Histogram = $crate::obs::Histogram::new($name);
+        __OBS_HISTOGRAM.record($v);
+    }};
+}
+
+/// Record a `u64` sample into a named log2 histogram:
+/// `histogram!("par.chunks_per_worker", n)`. Evaluates to `()`.
+///
+/// The `obs` feature is off in this build, so the macro expands to `()`
+/// and its arguments are not evaluated.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! histogram {
+    ($($args:tt)*) => {
+        ()
+    };
+}
+
+/// Start a span timer recording elapsed nanoseconds into the named
+/// histogram when the returned guard drops:
+/// `let _span = netgraph::span!("table3.curve");`.
+///
+/// With the `obs` feature off this expands to `()` (dropping immediately,
+/// timing nothing).
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __OBS_SPAN: $crate::obs::Histogram = $crate::obs::Histogram::new($name);
+        $crate::obs::Span::start(&__OBS_SPAN)
+    }};
+}
+
+/// Start a span timer recording elapsed nanoseconds into the named
+/// histogram when the returned guard drops:
+/// `let _span = netgraph::span!("table3.curve");`.
+///
+/// The `obs` feature is off in this build, so the macro expands to `()`.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        ()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..HISTOGRAM_BUCKETS {
+            // Every bucket's lower bound maps back into that bucket.
+            assert_eq!(bucket_index(bucket_low(i)), i, "bucket {i}");
+        }
+        assert_eq!(bucket_low(0), 0);
+        assert_eq!(bucket_low(1), 1);
+        assert_eq!(bucket_low(5), 16);
+    }
+
+    #[test]
+    fn empty_snapshot_shapes() {
+        let s = Snapshot::default();
+        assert_eq!(s.counter("nope"), None);
+        assert!(s.histogram("nope").is_none());
+        let json = s.to_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+    }
+
+    #[test]
+    fn json_escaping_in_names() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain.name"), "plain.name");
+    }
+
+    #[test]
+    fn histogram_snapshot_mean() {
+        let h = HistogramSnapshot {
+            name: "x".into(),
+            count: 4,
+            sum: 10,
+            buckets: Vec::new(),
+        };
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        let empty = HistogramSnapshot {
+            name: "y".into(),
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.mean(), 0.0);
+    }
+}

@@ -58,7 +58,10 @@ where
     assert!(chunk_size > 0, "chunk_size must be positive");
     let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
     let workers = resolve_threads(threads).min(chunks.len()).max(1);
+    let () = crate::counter!("par.jobs");
+    let () = crate::counter!("par.chunks", chunks.len() as u64);
     if workers <= 1 {
+        let () = crate::histogram!("par.chunks_per_worker", chunks.len() as u64);
         return chunks.into_iter().map(f).collect();
     }
 
@@ -73,6 +76,9 @@ where
                         let Some(chunk) = chunks.get(i) else { break };
                         local.push((i, f(chunk)));
                     }
+                    // One sample per worker: the spread of this histogram
+                    // is the executor's steal imbalance.
+                    let () = crate::histogram!("par.chunks_per_worker", local.len() as u64);
                     local
                 })
             })

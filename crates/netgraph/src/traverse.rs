@@ -71,7 +71,9 @@ impl TraversalArena {
     }
 
     fn begin(&mut self, n: usize, track_parents: bool) {
+        let () = crate::counter!("arena.runs");
         if self.seen.len() < n {
+            let () = crate::counter!("arena.grow");
             self.dist.resize(n, 0);
             self.parent.resize(n, NodeId(0));
             // New entries carry epoch 0, which never equals the current
@@ -81,6 +83,7 @@ impl TraversalArena {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Epoch wrapped: reset the lazily-invalidated `seen` marks.
+            let () = crate::counter!("arena.epoch_wrap");
             self.seen.iter_mut().for_each(|s| *s = 0);
             self.epoch = 1;
         }
@@ -306,8 +309,14 @@ thread_local! {
 /// fresh temporary arena instead of the pooled one.
 pub fn with_arena<R>(f: impl FnOnce(&mut TraversalArena) -> R) -> R {
     ARENA_POOL.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut arena) => f(&mut arena),
-        Err(_) => f(&mut TraversalArena::new()),
+        Ok(mut arena) => {
+            let () = crate::counter!("arena.pool.acquire");
+            f(&mut arena)
+        }
+        Err(_) => {
+            let () = crate::counter!("arena.pool.fresh");
+            f(&mut TraversalArena::new())
+        }
     })
 }
 

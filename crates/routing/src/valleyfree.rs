@@ -118,6 +118,7 @@ impl GraphView for ValleyFreeView<'_> {
     }
 
     fn for_each_neighbor(&self, s: NodeId, mut visit: impl FnMut(NodeId)) {
+        let () = netgraph::counter!("valleyfree.state_expansions");
         let u = ValleyFreeView::vertex_of(s);
         let phase = if s.0 % 2 == 1 { Phase::Down } else { Phase::Up };
         let u_is_broker = self.opts.brokers.is_none_or(|b| b.contains(u));

@@ -152,6 +152,7 @@ impl InternetConfig {
     /// Panics if the configuration is inconsistent (see
     /// [`InternetConfig::validate`]).
     pub fn generate(&self, seed: u64) -> Internet {
+        let () = netgraph::counter!("topology.generations");
         self.validate().expect("invalid InternetConfig");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let net = Generator::new(self, &mut rng).run();

@@ -12,6 +12,8 @@
 //! | R4   | library code of the product crates | no `println!` / `print!` / `dbg!` (output belongs to the bin/bench layer) |
 //! | R5   | all comments | `TODO`/`FIXME` must cite an issue (`#123`) |
 //! | R6   | library code of the product crates | no ad-hoc `VecDeque` BFS — traversal goes through `netgraph::traverse` (deliberately independent validators are allowlisted) |
+//! | R7   | library code of the product crates | no hand-rolled word-manipulation loops (`count_ones` / `trailing_zeros` / `leading_zeros`) outside `netgraph/src/{msbfs,nodeset,obs}.rs` — consumers use `LaneSet` / `Wavefront` / `NodeSet` |
+//! | R8   | library code of the product crates | no `std::time::Instant` outside `netgraph/src/obs.rs` — timing goes through the `span!` observability macro |
 //!
 //! Existing violations are burned down, not bulk-suppressed: each one
 //! needs an entry in `crates/xtask/lint.allow` (`rule|path|substring`),

@@ -1,4 +1,4 @@
-//! The R1-R7 rule set and per-file checking.
+//! The R1-R8 rule set and per-file checking.
 
 use crate::scanner;
 use crate::Violation;
@@ -27,10 +27,15 @@ pub enum Rule {
     /// set machinery belongs to the kernel, consumers use its `LaneSet` /
     /// `Wavefront` / `NodeSet` APIs.
     NoAdhocWordOps,
+    /// No `std::time::Instant` in product library code outside
+    /// `netgraph/src/obs.rs`: ad-hoc timing belongs to the observability
+    /// layer (`span!` records into the global registry, and compiles out
+    /// when the `obs` feature is off).
+    NoRawInstant,
 }
 
 impl Rule {
-    /// Short stable identifier (`R1`..`R7`) used in reports and allowlists.
+    /// Short stable identifier (`R1`..`R8`) used in reports and allowlists.
     pub fn id(self) -> &'static str {
         match self {
             Rule::NoUnwrap => "R1",
@@ -40,6 +45,7 @@ impl Rule {
             Rule::TodoNeedsIssue => "R5",
             Rule::NoAdhocBfs => "R6",
             Rule::NoAdhocWordOps => "R7",
+            Rule::NoRawInstant => "R8",
         }
     }
 
@@ -53,6 +59,7 @@ impl Rule {
             "R5" => Some(Rule::TodoNeedsIssue),
             "R6" => Some(Rule::NoAdhocBfs),
             "R7" => Some(Rule::NoAdhocWordOps),
+            "R8" => Some(Rule::NoRawInstant),
             _ => None,
         }
     }
@@ -72,6 +79,9 @@ impl Rule {
             }
             Rule::NoAdhocWordOps => {
                 "no hand-rolled word-manipulation loops in library code (use netgraph::msbfs / NodeSet)"
+            }
+            Rule::NoRawInstant => {
+                "no std::time::Instant in library code (use netgraph's span! observability macro)"
             }
         }
     }
@@ -201,11 +211,24 @@ pub fn check_file(path: &str, text: &str) -> Vec<Violation> {
             && !scanned.in_cfg_test
             && path != "crates/netgraph/src/msbfs.rs"
             && path != "crates/netgraph/src/nodeset.rs"
+            && path != "crates/netgraph/src/obs.rs"
             && (code.contains(".count_ones(")
                 || code.contains(".trailing_zeros(")
                 || code.contains(".leading_zeros("))
         {
             push(&mut out, Rule::NoAdhocWordOps, lineno, raw);
+        }
+
+        // R8: wall-clock timing in product library code goes through the
+        // observability layer, which owns the only sanctioned `Instant`.
+        // Timers placed anywhere else either leak overhead into
+        // non-instrumented builds or invent a second metrics channel.
+        if class == FileClass::ProductLib
+            && !scanned.in_cfg_test
+            && path != "crates/netgraph/src/obs.rs"
+            && code.contains("Instant")
+        {
+            push(&mut out, Rule::NoRawInstant, lineno, raw);
         }
 
         // R5: to-do/fixme markers need an issue reference on the line.
@@ -396,10 +419,12 @@ mod tests {
             v.iter().filter(|v| v.rule == Rule::NoAdhocWordOps).count(),
             3
         );
-        // The kernel and the bitset own the word loops.
+        // The kernel, the bitset and the histogram bucketing own the
+        // word loops.
         for path in [
             "crates/netgraph/src/msbfs.rs",
             "crates/netgraph/src/nodeset.rs",
+            "crates/netgraph/src/obs.rs",
         ] {
             let v = check_file(path, src);
             assert!(v.iter().all(|v| v.rule != Rule::NoAdhocWordOps), "{path}");
@@ -420,6 +445,31 @@ mod tests {
     }
 
     #[test]
+    fn r8_confines_instant_to_the_obs_layer() {
+        let src = "let t0 = std::time::Instant::now();\n";
+        // Product library code outside obs: fires.
+        let v = check_file("crates/brokerset/src/coverage.rs", src);
+        assert!(v.iter().any(|v| v.rule == Rule::NoRawInstant));
+        // The observability layer owns the clock.
+        let v = check_file("crates/netgraph/src/obs.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoRawInstant));
+        // Tests, benches, bins and support crates may time freely.
+        for path in [
+            "crates/netgraph/tests/engine_props.rs",
+            "benches/b.rs",
+            "src/bin/cli.rs",
+            "crates/bench/src/lib.rs",
+        ] {
+            let v = check_file(path, src);
+            assert!(v.iter().all(|v| v.rule != Rule::NoRawInstant), "{path}");
+        }
+        // #[cfg(test)] modules inside product libs are exempt too.
+        let src = "#[cfg(test)]\nmod t { fn f() { std::time::Instant::now(); } }\n";
+        let v = check_file("crates/routing/src/stitch.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoRawInstant));
+    }
+
+    #[test]
     fn rule_ids_roundtrip() {
         for r in [
             Rule::NoUnwrap,
@@ -429,6 +479,7 @@ mod tests {
             Rule::TodoNeedsIssue,
             Rule::NoAdhocBfs,
             Rule::NoAdhocWordOps,
+            Rule::NoRawInstant,
         ] {
             assert_eq!(Rule::from_id(r.id()), Some(r));
             assert!(!r.describe().is_empty());

@@ -1,6 +1,6 @@
 //! The lint gate itself, run as part of the ordinary test suite:
 //!
-//! 1. the shipped tree is clean under R1-R7,
+//! 1. the shipped tree is clean under R1-R8,
 //! 2. the allowlist only shrinks (burn down, never re-grow),
 //! 3. a seeded violation makes `xtask lint` exit nonzero.
 
@@ -64,10 +64,10 @@ fn seeded_violations_fail_the_binary() {
     let src = dir.join("crates/netgraph/src");
     std::fs::create_dir_all(&src).expect("mkdir");
     std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
-    // lib.rs violates R3 (no doc header, no forbid) and R1/R2/R4/R5/R6/R7.
+    // lib.rs violates R3 (no doc header, no forbid) and R1/R2/R4-R8.
     std::fs::write(
         src.join("lib.rs"),
-        "use std::collections::VecDeque;\npub fn f(x: Option<u32>) -> u32 {\n    // TODO make this lazy\n    let _q: VecDeque<u32> = VecDeque::new();\n    let _pop = 7u64.count_ones();\n    println!(\"{:?}\", rand::thread_rng());\n    x.unwrap()\n}\n",
+        "use std::collections::VecDeque;\npub fn f(x: Option<u32>) -> u32 {\n    // TODO make this lazy\n    let _q: VecDeque<u32> = VecDeque::new();\n    let _pop = 7u64.count_ones();\n    let _t0 = std::time::Instant::now();\n    println!(\"{:?}\", rand::thread_rng());\n    x.unwrap()\n}\n",
     )
     .expect("seeded source");
 
@@ -81,7 +81,7 @@ fn seeded_violations_fail_the_binary() {
         !out.status.success(),
         "seeded tree must fail the lint, got:\n{stdout}"
     );
-    for rule in ["R1", "R2", "R3", "R4", "R5", "R6", "R7"] {
+    for rule in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"] {
         assert!(stdout.contains(rule), "{rule} missing from:\n{stdout}");
     }
 

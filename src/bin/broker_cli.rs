@@ -10,6 +10,11 @@
 //! ```
 //!
 //! Algorithms: `maxsg`, `greedy`, `approx`, `db`, `prb`, `ixpb`, `tier1`.
+//!
+//! A global `--obs PATH` (any position) dumps a `netgraph::obs` metrics
+//! snapshot after a successful command and prints a one-line engine
+//! digest to stderr. Meaningful in `--features obs` builds; otherwise
+//! the snapshot is empty and the digest says so.
 
 use brokerset::{
     approx_mcbg, degree_based, greedy_mcb, ixp_based, lhop_curve, max_subgraph_greedy,
@@ -28,9 +33,15 @@ macro_rules! say {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_path = extract_obs_flag(&mut args);
     let code = match run(&args) {
-        Ok(()) => 0,
+        Ok(()) => {
+            if let Some(path) = &obs_path {
+                dump_obs(path);
+            }
+            0
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
@@ -38,6 +49,43 @@ fn main() {
         }
     };
     std::process::exit(code);
+}
+
+/// Strip a global `--obs PATH` from the argument list, if present.
+fn extract_obs_flag(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--obs")?;
+    if i + 1 >= args.len() {
+        eprintln!("error: --obs expects a file path");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Some(path)
+}
+
+/// Write the metrics snapshot and print the run summary to stderr.
+fn dump_obs(path: &str) {
+    let snap = netgraph::obs::snapshot();
+    if let Err(e) = std::fs::write(path, snap.to_json()) {
+        eprintln!("error: writing obs snapshot to {path}: {e}");
+        std::process::exit(2);
+    }
+    if netgraph::obs::enabled() {
+        let c = |name: &str| snap.counter(name).unwrap_or(0);
+        eprintln!(
+            "[obs] arena runs {} (pool {}/{} acquire/fresh) | msbfs runs {} levels {} | \
+             valley-free expansions {} | snapshot -> {path}",
+            c("arena.runs"),
+            c("arena.pool.acquire"),
+            c("arena.pool.fresh"),
+            c("msbfs.runs"),
+            c("msbfs.levels"),
+            c("valleyfree.state_expansions"),
+        );
+    } else {
+        eprintln!("[obs] instrumentation off (rebuild with --features obs) | snapshot -> {path}");
+    }
 }
 
 const USAGE: &str = "\

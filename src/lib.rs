@@ -93,6 +93,7 @@ impl BrokeragePlan {
 
     /// Plan a broker set for an existing topology.
     pub fn for_internet(internet: Internet, budget: usize) -> Self {
+        let () = netgraph::counter!("plan.builds");
         let selection = max_subgraph_greedy(internet.graph(), budget);
         let report = saturated_connectivity(internet.graph(), selection.brokers());
         BrokeragePlan {
