@@ -69,6 +69,16 @@ run cargo test --offline -q -p brokerset --test determinism
 run cargo test --offline -q -p netgraph --test msbfs_props
 run cargo test --offline -q -p routing --test msbfs_valleyfree
 
+# Fault-injection gate: FaultView traversal must equal BFS on an
+# explicitly rebuilt surviving subgraph at every epoch of a random
+# schedule, schedules must survive JSON round trips semantically, and
+# chaos traces must stay bit-identical across thread counts and a
+# schedule save/load. Both feature states: the obs counters the chaos
+# layer emits must never perturb results.
+run cargo test --offline -q -p netgraph --test fault_props
+run cargo test --offline -q -p netgraph --test fault_props --features obs
+run cargo test --offline -q -p brokerset --test determinism --features obs
+
 # Observability gates: the obs contract suite in both feature states
 # (macro unit-expansion, bucket math, thread-count-invariant snapshots),
 # the economics axioms, and the golden result snapshots for table3/fig2a.

@@ -12,8 +12,6 @@ use brokerset::{
     saturated_connectivity, FailureOrder,
 };
 use netgraph::NodeSet;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let rc = RunConfig::from_args();
@@ -83,8 +81,7 @@ fn main() {
         failed.insert(v);
     }
     let broken = saturated_connectivity(g, &survivors).fraction;
-    let mut rng = ChaCha8Rng::seed_from_u64(rc.seed);
-    let repaired = greedy_repair(g, &survivors, &failed, n_fail, &mut rng);
+    let repaired = greedy_repair(g, &survivors, &failed, n_fail, rc.seed);
     let fixed = saturated_connectivity(g, repaired.brokers()).fraction;
     println!(
         "\nrepair: fail top {n_fail} -> {}; recruit {n_fail} replacements -> {}",

@@ -95,6 +95,11 @@ smoke!(
     env!("CARGO_BIN_EXE_ext_evolution"),
     "jaccard"
 );
+smoke!(
+    ext_chaos_runs,
+    env!("CARGO_BIN_EXE_ext_chaos"),
+    "certificate:"
+);
 
 #[test]
 fn fig2a_runs_with_reduced_iterations() {
@@ -225,4 +230,52 @@ fn table3_matches_golden_snapshot() {
 #[test]
 fn fig2a_matches_golden_snapshot() {
     check_golden(env!("CARGO_BIN_EXE_fig2a"), "fig2a", &["tiny", "7", "20"]);
+}
+
+#[test]
+fn ext_chaos_matches_golden_snapshot() {
+    // The chaos trace fans out per epoch; --threads 2 proves the record
+    // is thread-count invariant like every other evaluator.
+    check_golden(
+        env!("CARGO_BIN_EXE_ext_chaos"),
+        "ext_chaos",
+        &["tiny", "7", "--threads", "2"],
+    );
+}
+
+#[test]
+fn golden_comparison_rejects_off_by_one() {
+    // Prove the golden actually bites: perturb one recorded float by
+    // more than REL_EPS and the comparison must panic.
+    let golden_path = goldens_dir().join("ext_chaos.tiny.json");
+    let text = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e})", golden_path.display()));
+    let want: serde_json::Value = serde_json::from_str(&text).expect("golden JSON parses");
+    let mut got = want.clone();
+    let serde_json::Value::Object(entries) = &mut got else {
+        panic!("golden root is not an object");
+    };
+    let data = entries
+        .iter_mut()
+        .find(|(k, _)| k == "data")
+        .map(|(_, v)| v)
+        .expect("golden has a data field");
+    let serde_json::Value::Object(data) = data else {
+        panic!("golden data is not an object");
+    };
+    let sat = data
+        .iter_mut()
+        .find(|(k, _)| k == "saturated")
+        .map(|(_, v)| v)
+        .expect("golden records a saturated curve");
+    let serde_json::Value::Array(curve) = sat else {
+        panic!("saturated curve is not an array");
+    };
+    let serde_json::Value::Float(f) = &mut curve[0] else {
+        panic!("saturated curve entry is not a float");
+    };
+    *f += 1e-6;
+    let panicked =
+        std::panic::catch_unwind(|| assert_json_close("ext_chaos", &got, &want)).is_err();
+    assert!(panicked, "a 1e-6 perturbation must fail the golden check");
 }

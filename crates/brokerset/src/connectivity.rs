@@ -15,7 +15,7 @@
 //!   error reported.
 
 use netgraph::components::Components;
-use netgraph::{msbfs, with_msbfs, DominatedView, Graph, NodeId, NodeSet, UnionFind};
+use netgraph::{msbfs, with_msbfs, DominatedView, Graph, GraphView, NodeId, NodeSet, UnionFind};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -108,11 +108,28 @@ pub(crate) fn run_sources(
     max_l: usize,
     sources: &[NodeId],
 ) -> (Vec<u64>, Vec<f64>) {
-    let n = g.node_count();
+    run_sources_over(
+        DominatedView::new(g, brokers),
+        g.node_count(),
+        max_l,
+        sources,
+    )
+}
+
+/// [`run_sources`] over an arbitrary symmetric [`GraphView`] — the same
+/// 64-lane batching, level-pair accumulation and per-source division,
+/// so instantiating it with a transparent mask (e.g. an all-clear
+/// [`netgraph::FaultView`] over the dominated edge set) is byte-identical
+/// to [`run_sources`] itself.
+pub(crate) fn run_sources_over<V: GraphView + Copy>(
+    view: V,
+    n: usize,
+    max_l: usize,
+    sources: &[NodeId],
+) -> (Vec<u64>, Vec<f64>) {
     netgraph::counter!("connectivity.sources_evaluated", sources.len() as u64);
     let mut cum = vec![0u64; max_l];
     let mut finals = Vec::with_capacity(sources.len());
-    let view = DominatedView::new(g, brokers);
     with_msbfs(|arena| {
         for batch in sources.chunks(msbfs::LANES) {
             // level_pairs[l] = pairs first connected at exactly l + 1

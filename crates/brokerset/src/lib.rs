@@ -52,6 +52,7 @@
 
 pub mod approx;
 pub mod baseline;
+pub mod chaos;
 pub mod composition;
 pub mod connectivity;
 pub mod coverage;
@@ -72,6 +73,9 @@ pub use approx::{approx_mcbg, ApproxConfig};
 pub use baseline::{
     betweenness_based, closeness_based, degree_based, ixp_based, pagerank_based, set_cover,
     tier1_only,
+};
+pub use chaos::{
+    chaos_trace, chaos_trace_threaded, ChaosStep, ChaosTrace, Degradation, DegradationCertificate,
 };
 pub use composition::{broker_only_connectivity, composition_histogram, ranked_brokers};
 pub use connectivity::{

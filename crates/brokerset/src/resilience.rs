@@ -6,11 +6,13 @@
 //! leave anyway — by targeted attack on the highest-impact members or by
 //! random failure — the classic robustness lens on scale-free systems.
 
-use crate::connectivity::{lhop_curve, saturated_connectivity, SourceMode};
+use crate::chaos::chaos_trace_threaded;
+use crate::connectivity::SourceMode;
 use crate::problem::BrokerSelection;
-use netgraph::{par, Graph, NodeId, NodeSet};
+use netgraph::{FaultSchedule, Graph, NodeId, NodeSet};
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Which brokers are removed first.
@@ -63,10 +65,13 @@ pub fn failure_trace(
 /// [`failure_trace`] with the per-step connectivity evaluations run on
 /// `threads` workers (`0` = all hardware threads) via [`netgraph::par`].
 ///
-/// Each trace point is the saturated connectivity of the broker set minus
-/// a *prefix* of the victim list — a pure function of that prefix — so
-/// the steps are independent and the result is identical to the
-/// sequential trace at every thread count.
+/// Internally this is a thin wrapper over the chaos harness: the victim
+/// batches become broker-defection events of a [`FaultSchedule`] (epoch
+/// `i` has the first `i` batches defected) and the trace is
+/// [`chaos_trace_threaded`]'s saturated curve. Each epoch is a pure
+/// function of its victim prefix, so the result is identical to the
+/// sequential trace at every thread count — and bit-identical to the
+/// historical direct evaluation.
 ///
 /// # Panics
 ///
@@ -80,19 +85,30 @@ pub fn failure_trace_threaded(
 ) -> ResilienceTrace {
     assert!(steps > 0, "need at least one step");
     let (victims, prefixes) = victim_prefixes(sel, order, steps);
-
-    // Each step is a full components pass — heavy — so fan out per step.
-    let connectivity: Vec<f64> = par::map(&prefixes, 1, threads, |&p| {
-        let mut alive: NodeSet = sel.brokers().clone();
-        for &v in &victims[..p] {
-            alive.remove(v);
-        }
-        saturated_connectivity(g, &alive).fraction
-    });
+    let schedule = broker_removal_schedule(g.node_count(), &victims, &prefixes);
+    let trace = chaos_trace_threaded(g, sel, &schedule, None, SourceMode::Exact, threads);
     ResilienceTrace {
         removed_fraction: removed_fractions(&prefixes, victims.len()),
-        connectivity,
+        connectivity: trace.saturated_curve(),
     }
+}
+
+/// Encode victim-prefix removal as a fault schedule: epoch `i` opens
+/// with `victims[..prefixes[i]]` defected (epoch 0 is intact), one epoch
+/// per trace point.
+fn broker_removal_schedule(
+    node_count: usize,
+    victims: &[NodeId],
+    prefixes: &[usize],
+) -> FaultSchedule {
+    let mut schedule = FaultSchedule::new(node_count);
+    for (i, w) in prefixes.windows(2).enumerate() {
+        for &v in &victims[w[0]..w[1]] {
+            schedule.fail_broker(i as u32 + 1, v);
+        }
+    }
+    schedule.set_horizon(prefixes.len() as u32);
+    schedule
 }
 
 /// Resolve the victim list for `order` and the victim-prefix length at
@@ -182,10 +198,12 @@ pub fn lhop_failure_trace(
 /// measuring the l-hop connectivity `F_B(max_l)` after each batch, with
 /// the per-step evaluations fanned out on `threads` workers.
 ///
-/// Each step is a full [`lhop_curve`] over the shrunk broker set — a
-/// many-source traversal the 64-lane [`netgraph::msbfs`] kernel makes
-/// affordable even in [`SourceMode::Exact`]. Steps are pure functions of
-/// their victim prefix, so the trace is identical at every thread count.
+/// Like [`failure_trace_threaded`], a thin wrapper over the chaos
+/// harness: the batches become broker-defection events and each epoch's
+/// l-hop value is evaluated by the same 64-lane [`netgraph::msbfs`]
+/// batching [`crate::connectivity::lhop_curve`] uses, so the trace is
+/// bit-identical to the historical per-step `lhop_curve` loop at every
+/// thread count.
 ///
 /// # Panics
 ///
@@ -201,16 +219,11 @@ pub fn lhop_failure_trace_threaded(
 ) -> LhopResilienceTrace {
     assert!(steps > 0, "need at least one step");
     let (victims, prefixes) = victim_prefixes(sel, order, steps);
-    let lhop_connectivity: Vec<f64> = par::map(&prefixes, 1, threads, |&p| {
-        let mut alive: NodeSet = sel.brokers().clone();
-        for &v in &victims[..p] {
-            alive.remove(v);
-        }
-        lhop_curve(g, &alive, max_l, mode).at(max_l)
-    });
+    let schedule = broker_removal_schedule(g.node_count(), &victims, &prefixes);
+    let trace = chaos_trace_threaded(g, sel, &schedule, Some(max_l), mode, threads);
     LhopResilienceTrace {
         removed_fraction: removed_fractions(&prefixes, victims.len()),
-        lhop_connectivity,
+        lhop_connectivity: trace.steps.iter().map(|s| s.lhop.unwrap_or(0.0)).collect(),
         max_l,
     }
 }
@@ -218,13 +231,21 @@ pub fn lhop_failure_trace_threaded(
 /// Repair policy after failures: spend `budget` replacement brokers,
 /// chosen greedily by dominated-component growth (the MaxSG step),
 /// excluding the failed vertices. Returns the repaired selection.
-pub fn greedy_repair<R: Rng>(
+///
+/// Equal-score candidates are broken uniformly at random from a
+/// [`ChaCha8Rng`] seeded with `seed` (the same generator
+/// [`FailureOrder::Random`] uses), so the result is a pure function of
+/// `(g, survivors, failed, budget, seed)` — reproducible from the run
+/// record alone, with no caller-supplied generic RNG whose type and
+/// internal state would also have to be recorded.
+pub fn greedy_repair(
     g: &Graph,
     survivors: &NodeSet,
     failed: &NodeSet,
     budget: usize,
-    _rng: &mut R,
+    seed: u64,
 ) -> BrokerSelection {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Start from the survivors and extend with MaxSG-style picks that
     // avoid the failed vertices.
     let n = g.node_count();
@@ -232,7 +253,8 @@ pub fn greedy_repair<R: Rng>(
     let mut brokers = survivors.clone();
     for _ in 0..budget {
         let comps = crate::connectivity::dominated_components(g, &brokers);
-        let mut best: Option<(u64, NodeId)> = None;
+        let mut best: Option<u64> = None;
+        let mut ties: Vec<NodeId> = Vec::new();
         for w in g.nodes() {
             if brokers.contains(w) || failed.contains(w) {
                 continue;
@@ -254,15 +276,18 @@ pub fn greedy_repair<R: Rng>(
             for &v in g.neighbors(w) {
                 score += push(comps.label[v.index()], size_of(&comps, v), &mut seen);
             }
-            let better = match best {
-                None => true,
-                Some((bs, bv)) => score > bs || (score == bs && w < bv),
-            };
-            if better {
-                best = Some((score, w));
+            if best.is_none_or(|bs| score > bs) {
+                best = Some(score);
+                ties.clear();
+                ties.push(w);
+            } else if best == Some(score) {
+                ties.push(w);
             }
         }
-        let Some((_, w)) = best else { break };
+        if ties.is_empty() {
+            break;
+        }
+        let w = ties[rng.gen_range(0..ties.len())];
         brokers.insert(w);
         order.push(w);
     }
@@ -281,9 +306,8 @@ fn size_of(comps: &netgraph::components::Components, v: NodeId) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::connectivity::saturated_connectivity;
     use crate::maxsg::max_subgraph_greedy;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use topology::{InternetConfig, Scale};
 
     fn setup() -> (netgraph::Graph, BrokerSelection) {
@@ -333,8 +357,7 @@ mod tests {
             failed.insert(v);
         }
         let broken = saturated_connectivity(&g, &survivors).fraction;
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let repaired = greedy_repair(&g, &survivors, &failed, 10, &mut rng);
+        let repaired = greedy_repair(&g, &survivors, &failed, 10, 3);
         let fixed = saturated_connectivity(&g, repaired.brokers()).fraction;
         assert!(
             fixed > broken,
@@ -345,6 +368,39 @@ mod tests {
             assert!(!failed.contains(v));
         }
     }
+
+    /// Regression pin: `greedy_repair` is a pure function of its `u64`
+    /// seed (no caller-supplied RNG can perturb it), so the exact
+    /// replacement list for a fixed scenario must never drift.
+    #[test]
+    fn repair_pinned_by_seed_alone() {
+        let (g, sel) = setup();
+        let mut survivors = sel.brokers().clone();
+        let mut failed = NodeSet::new(g.node_count());
+        for &v in sel.order().iter().take(10) {
+            survivors.remove(v);
+            failed.insert(v);
+        }
+        let repaired = greedy_repair(&g, &survivors, &failed, 10, 3);
+        let replacements: Vec<u32> = repaired.order()[survivors.len()..]
+            .iter()
+            .map(|v| v.0)
+            .collect();
+        assert_eq!(
+            replacements, PINNED_REPLACEMENTS,
+            "greedy_repair(seed=3) output drifted"
+        );
+        // Same seed, same answer; the seed is the whole story.
+        assert_eq!(
+            greedy_repair(&g, &survivors, &failed, 10, 3).order(),
+            repaired.order()
+        );
+    }
+
+    /// The replacement brokers `greedy_repair(seed=3)` picks in the
+    /// `repair_pinned_by_seed_alone` scenario (tiny topology, seed 88,
+    /// MaxSG-70 selection, top-10 failed).
+    const PINNED_REPLACEMENTS: [u32; 10] = [1086, 1087, 978, 456, 1089, 911, 140, 27, 827, 408];
 
     #[test]
     #[should_panic(expected = "at least one step")]

@@ -4,9 +4,10 @@
 //! produced on.
 
 use brokerset::{
-    failure_trace, failure_trace_threaded, lhop_curve, lhop_curve_parallel, max_subgraph_greedy,
-    FailureOrder, SourceMode,
+    chaos_trace, chaos_trace_threaded, failure_trace, failure_trace_threaded, lhop_curve,
+    lhop_curve_parallel, max_subgraph_greedy, FailureOrder, SourceMode,
 };
+use netgraph::{FaultGroup, FaultSchedule, NodeId};
 use topology::{InternetConfig, Scale};
 
 const THREADS: [usize; 4] = [1, 2, 4, 7];
@@ -64,6 +65,59 @@ fn failure_trace_bit_identical() {
             );
         }
     }
+}
+
+/// An ext_chaos-style timeline at test size: broker defections, a
+/// correlated node+edge group outage, edge cuts, then staged recovery.
+fn chaos_schedule(sel_order: &[NodeId], n: usize) -> FaultSchedule {
+    let mut s = FaultSchedule::new(n);
+    for (i, &b) in sel_order.iter().take(6).enumerate() {
+        s.fail_broker(i as u32 / 2 + 1, b);
+    }
+    let outsider = NodeId((n as u32) - 1);
+    let gi = s.add_group(FaultGroup::new(
+        "blast-zone",
+        vec![outsider],
+        [(outsider, NodeId(0)), (NodeId(1), NodeId(2))],
+    ));
+    s.fail_group(3, gi);
+    s.fail_edge(4, NodeId(0), NodeId(3));
+    s.recover_group(5, gi);
+    for &b in sel_order.iter().take(6) {
+        s.recover_broker(6, b);
+    }
+    s.set_horizon(8);
+    s
+}
+
+#[test]
+fn chaos_trace_bit_identical_across_threads() {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let sel = max_subgraph_greedy(g, 60);
+    let schedule = chaos_schedule(sel.order(), g.node_count());
+    let seq = chaos_trace(g, &sel, &schedule, Some(6), SourceMode::Exact);
+    assert_eq!(seq.steps.len(), 8);
+    for t in THREADS {
+        let par = chaos_trace_threaded(g, &sel, &schedule, Some(6), SourceMode::Exact, t);
+        // ChaosTrace PartialEq covers every epoch's saturated fraction,
+        // lhop fraction and degradation record bit for bit.
+        assert_eq!(seq, par, "chaos trace diverged at threads={t}");
+    }
+}
+
+#[test]
+fn chaos_trace_survives_schedule_save_load() {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let sel = max_subgraph_greedy(g, 60);
+    let schedule = chaos_schedule(sel.order(), g.node_count());
+    let json = serde_json::to_string(&schedule).expect("schedule serializes");
+    let reloaded: FaultSchedule = serde_json::from_str(&json).expect("schedule deserializes");
+    assert_eq!(reloaded, schedule);
+    let before = chaos_trace_threaded(g, &sel, &schedule, Some(6), SourceMode::Exact, 4);
+    let after = chaos_trace_threaded(g, &sel, &reloaded, Some(6), SourceMode::Exact, 4);
+    assert_eq!(before, after, "reloaded schedule replays differently");
 }
 
 #[test]

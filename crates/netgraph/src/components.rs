@@ -6,6 +6,7 @@
 //! what [`UnionFind`] provides. The saturated E2E connectivity metric is a
 //! straight function of component sizes.
 
+use crate::view::GraphView;
 use crate::{Graph, NodeId, NodeSet};
 use serde::{Deserialize, Serialize};
 
@@ -172,6 +173,41 @@ pub fn connected_components(g: &Graph) -> Components {
             }
         }
         sizes.push(size);
+    }
+    Components { label, sizes }
+}
+
+/// Connected components of an arbitrary [`GraphView`] via union-find
+/// over its surviving adjacency.
+///
+/// Every vertex in `0..node_count()` gets a label; vertices the view
+/// excludes (`contains_node` false) and vertices with no surviving edges
+/// end up as singleton components, so they contribute zero connected
+/// pairs — which makes this a drop-in replacement for edge-set-specific
+/// component passes (the dominated edge set, failure-masked views, and
+/// their compositions) when computing saturated connectivity.
+pub fn view_components<V: GraphView>(view: &V) -> Components {
+    let n = view.node_count();
+    let mut uf = UnionFind::new(n);
+    for u in 0..n {
+        let u_id = NodeId::from(u);
+        if !view.contains_node(u_id) {
+            continue;
+        }
+        view.for_each_neighbor(u_id, |v| {
+            uf.union(u, v.index());
+        });
+    }
+    let mut label = vec![u32::MAX; n];
+    let mut sizes: Vec<usize> = Vec::new();
+    for v in 0..n {
+        let r = uf.find(v);
+        if label[r] == u32::MAX {
+            label[r] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        label[v] = label[r];
+        sizes[label[r] as usize] += 1;
     }
     Components { label, sizes }
 }

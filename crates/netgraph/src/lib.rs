@@ -48,6 +48,9 @@
 //! - [`par`] — deterministic parallel executor for per-source fan-out.
 //! - [`mod@dijkstra`] — weighted shortest paths.
 //! - [`components`] — connected components and a union-find.
+//! - [`fault`] — deterministic fault injection: serializable epochal
+//!   [`fault::FaultSchedule`]s (node/edge/broker/group failures and
+//!   recoveries) and the [`fault::FaultView`] that masks them.
 //! - [`centrality`] — degree, PageRank, k-core decomposition.
 //! - [`gen`] — Erdős–Rényi, Watts–Strogatz, Barabási–Albert generators.
 //! - [`alphabeta`] — (α, β)-graph property estimation (Definition 2 of the
@@ -68,6 +71,7 @@ pub mod components;
 pub mod dijkstra;
 pub mod error;
 pub mod export;
+pub mod fault;
 pub mod gen;
 pub mod graph;
 pub mod metrics;
@@ -82,10 +86,15 @@ pub mod view;
 pub use alphabeta::{estimate_alpha, hop_histogram, AlphaBetaEstimate, HopHistogram};
 pub use binio::{graph_from_bytes, graph_to_bytes, CodecError};
 pub use centrality::{coreness, degree_sequence, pagerank, top_by_score, PageRankConfig};
-pub use components::{connected_components, giant_component, Components, UnionFind};
+pub use components::{
+    connected_components, giant_component, view_components, Components, UnionFind,
+};
 pub use dijkstra::{dijkstra, WeightedGraph};
 pub use error::GraphError;
 pub use export::{to_dot, to_edge_list};
+pub use fault::{
+    FaultAction, FaultEvent, FaultGroup, FaultSchedule, FaultState, FaultTarget, FaultView,
+};
 pub use gen::{barabasi_albert, erdos_renyi_gnm, erdos_renyi_gnp, watts_strogatz};
 pub use graph::{undirected_key, Graph, GraphBuilder, NodeId};
 pub use metrics::{

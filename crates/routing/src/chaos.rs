@@ -1,0 +1,330 @@
+//! Session-level broker failover under a fault schedule.
+//!
+//! [`crate::failover`] plans a primary/backup dominating-path pair once;
+//! this module *replays* such a session against a
+//! [`netgraph::FaultSchedule`], epoch by epoch, modeling what a
+//! supervised session actually does when the topology degrades:
+//!
+//! 1. keep using the active path while every hop survives;
+//! 2. on a hit, **fail over** to the precomputed edge-disjoint backup if
+//!    that still works (fast, local — one retry);
+//! 3. otherwise **reroute**: replan primary + backup from scratch over
+//!    the degraded dominated edge set (slow, global).
+//!
+//! Replay is a pure function of `(graph, brokers, schedule, src, dst)`,
+//! so session statistics are deterministic and reproducible from the
+//! serialized schedule alone.
+
+use crate::stitch::StitchedPath;
+use netgraph::{
+    undirected_key, with_arena, DominatedView, FaultSchedule, FaultState, FaultView, Graph,
+    GraphView, MaskedView, NodeId, NodeSet,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Outcome of replaying one session under a schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionReplay {
+    /// Epochs replayed (= schedule horizon).
+    pub epochs: u32,
+    /// Epochs in which the session had a working dominating path.
+    pub connected_epochs: u32,
+    /// Switches to the precomputed backup (retries that succeeded
+    /// without replanning).
+    pub failovers: u32,
+    /// Full replans over the degraded topology (excluding the initial
+    /// plan).
+    pub reroutes: u32,
+    /// Epochs in which no dominating path existed at all.
+    pub outages: u32,
+}
+
+impl SessionReplay {
+    /// Fraction of epochs the session stayed connected.
+    pub fn availability(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            f64::from(self.connected_epochs) / f64::from(self.epochs)
+        }
+    }
+}
+
+/// Aggregate of [`replay_session`] over many `(src, dst)` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Sessions replayed.
+    pub sessions: usize,
+    /// Mean per-session availability.
+    pub mean_availability: f64,
+    /// Total backup switches across sessions.
+    pub failovers: u64,
+    /// Total replans across sessions.
+    pub reroutes: u64,
+    /// Sessions that never lost connectivity for a single epoch.
+    pub unbroken: usize,
+}
+
+/// Replay one supervised session under `schedule`.
+///
+/// `brokers` is the intact selection; per epoch, brokers that defected
+/// or whose vertex is down stop dominating edges. The session plans
+/// lazily: the first epoch's plan is not counted as a reroute.
+pub fn replay_session(
+    g: &Graph,
+    brokers: &NodeSet,
+    schedule: &FaultSchedule,
+    src: NodeId,
+    dst: NodeId,
+) -> SessionReplay {
+    let mut out = SessionReplay {
+        epochs: schedule.horizon(),
+        connected_epochs: 0,
+        failovers: 0,
+        reroutes: 0,
+        outages: 0,
+    };
+    // Active path plus the standby it can fail over to.
+    let mut active: Option<StitchedPath> = None;
+    let mut standby: Option<StitchedPath> = None;
+    let mut planned_once = false;
+    schedule.replay(|state| {
+        let mut alive = brokers.clone();
+        alive.difference_with(state.failed_brokers());
+        alive.difference_with(state.failed_nodes());
+        if state.failed_nodes().contains(src) || state.failed_nodes().contains(dst) {
+            // An endpoint is down: nothing to route, nothing to replan.
+            out.outages += 1;
+            active = None;
+            standby = None;
+            return;
+        }
+        if active
+            .as_ref()
+            .is_some_and(|p| path_survives(&alive, state, &p.path))
+        {
+            out.connected_epochs += 1;
+            return;
+        }
+        // Primary hit: try the precomputed disjoint backup first.
+        if let Some(b) = standby.take() {
+            if path_survives(&alive, state, &b.path) {
+                out.failovers += 1;
+                active = Some(b);
+                out.connected_epochs += 1;
+                return;
+            }
+        }
+        // Both gone: replan over the degraded dominated edge set.
+        if planned_once {
+            out.reroutes += 1;
+            netgraph::counter!("chaos.reroutes", 1);
+        }
+        planned_once = true;
+        match plan_under(g, &alive, state, src, dst) {
+            Some((primary, backup)) => {
+                active = Some(primary);
+                standby = backup;
+                out.connected_epochs += 1;
+            }
+            None => {
+                active = None;
+                standby = None;
+                out.outages += 1;
+            }
+        }
+    });
+    out
+}
+
+/// Replay every pair and aggregate.
+pub fn replay_sessions(
+    g: &Graph,
+    brokers: &NodeSet,
+    schedule: &FaultSchedule,
+    pairs: &[(NodeId, NodeId)],
+) -> SessionStats {
+    let mut stats = SessionStats {
+        sessions: pairs.len(),
+        mean_availability: 0.0,
+        failovers: 0,
+        reroutes: 0,
+        unbroken: 0,
+    };
+    let mut avail_sum = 0.0;
+    for &(u, v) in pairs {
+        let r = replay_session(g, brokers, schedule, u, v);
+        avail_sum += r.availability();
+        stats.failovers += u64::from(r.failovers);
+        stats.reroutes += u64::from(r.reroutes);
+        if r.connected_epochs == r.epochs {
+            stats.unbroken += 1;
+        }
+    }
+    if !pairs.is_empty() {
+        stats.mean_availability = avail_sum / pairs.len() as f64;
+    }
+    stats
+}
+
+/// Does `path` still work this epoch? Every vertex up, every hop's edge
+/// uncut, and every hop dominated by a surviving broker.
+fn path_survives(alive: &NodeSet, state: &FaultState, path: &[NodeId]) -> bool {
+    if path.is_empty() || path.iter().any(|&v| state.failed_nodes().contains(v)) {
+        return false;
+    }
+    path.windows(2).all(|w| {
+        !state.failed_edges().contains(&undirected_key(w[0], w[1]))
+            && (alive.contains(w[0]) || alive.contains(w[1]))
+    })
+}
+
+/// Shortest dominating primary + edge-disjoint backup over the degraded
+/// topology: the [`crate::failover::failover_plan`] construction run on
+/// a [`FaultView`] over the surviving broker set.
+fn plan_under(
+    g: &Graph,
+    alive: &NodeSet,
+    state: &FaultState,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<(StitchedPath, Option<StitchedPath>)> {
+    let view = FaultView::new(DominatedView::new(g, alive), state);
+    let primary = shortest_on(view, alive, src, dst)?;
+    let forbidden: HashSet<(u32, u32)> = primary
+        .path
+        .windows(2)
+        .map(|w| undirected_key(w[0], w[1]))
+        .collect();
+    let backup = shortest_on(MaskedView::without_edges(view, &forbidden), alive, src, dst);
+    Some((primary, backup))
+}
+
+/// Shortest path on an arbitrary view, stitched with broker positions.
+fn shortest_on<V: GraphView>(
+    view: V,
+    brokers: &NodeSet,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<StitchedPath> {
+    if !view.contains_node(src) || !view.contains_node(dst) {
+        return None;
+    }
+    let path = with_arena(|arena| {
+        arena.run_to_target(&view, src, |v| v == dst)?;
+        arena.path_to(dst)
+    })?;
+    let broker_positions = path
+        .iter()
+        .enumerate()
+        .filter(|&(_, v)| brokers.contains(*v))
+        .map(|(i, _)| i)
+        .collect();
+    Some(StitchedPath {
+        path,
+        broker_positions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::graph::from_edges;
+    use netgraph::FaultSchedule;
+
+    fn cycle4() -> Graph {
+        from_edges(
+            4,
+            [(0, 1), (1, 2), (2, 3), (3, 0)].map(|(a, b)| (NodeId(a), NodeId(b))),
+        )
+    }
+
+    #[test]
+    fn stable_session_never_retries() {
+        let g = cycle4();
+        let mut sched = FaultSchedule::new(4);
+        sched.set_horizon(5);
+        let r = replay_session(&g, &NodeSet::full(4), &sched, NodeId(0), NodeId(2));
+        assert_eq!(r.epochs, 5);
+        assert_eq!(r.connected_epochs, 5);
+        assert_eq!(r.failovers, 0);
+        assert_eq!(r.reroutes, 0);
+        assert_eq!(r.outages, 0);
+        assert_eq!(r.availability(), 1.0);
+    }
+
+    #[test]
+    fn edge_cut_triggers_failover_not_reroute() {
+        // 0->2 on the 4-cycle: primary 0-1-2, disjoint backup 0-3-2.
+        // Cutting a primary edge must switch to the backup (one
+        // failover, no replan).
+        let g = cycle4();
+        let mut sched = FaultSchedule::new(4);
+        sched.fail_edge(1, NodeId(0), NodeId(1));
+        sched.set_horizon(3);
+        let r = replay_session(&g, &NodeSet::full(4), &sched, NodeId(0), NodeId(2));
+        assert_eq!(r.connected_epochs, 3);
+        assert_eq!(r.failovers, 1);
+        assert_eq!(r.reroutes, 0);
+    }
+
+    #[test]
+    fn double_cut_forces_reroute_and_recovery_reconnects() {
+        // Cut both 0-1 and 0-3 at epoch 1: no path at all; recover 0-1
+        // at epoch 2: the session must replan and reconnect.
+        let g = cycle4();
+        let mut sched = FaultSchedule::new(4);
+        sched.fail_edge(1, NodeId(0), NodeId(1));
+        sched.fail_edge(1, NodeId(0), NodeId(3));
+        sched.recover_edge(2, NodeId(0), NodeId(1));
+        sched.set_horizon(3);
+        let r = replay_session(&g, &NodeSet::full(4), &sched, NodeId(0), NodeId(2));
+        assert_eq!(r.outages, 1);
+        assert_eq!(r.connected_epochs, 2);
+        assert!(r.reroutes >= 1);
+    }
+
+    #[test]
+    fn broker_defection_breaks_domination() {
+        // Path 0-1-2, broker {1} only. When 1 defects, no hop is
+        // dominated: outage even though the physical path survives.
+        let g = from_edges(3, [(0, 1), (1, 2)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let brokers = NodeSet::from_iter_with_capacity(3, [NodeId(1)]);
+        let mut sched = FaultSchedule::new(3);
+        sched.fail_broker(1, NodeId(1));
+        sched.recover_broker(2, NodeId(1));
+        sched.set_horizon(3);
+        let r = replay_session(&g, &brokers, &sched, NodeId(0), NodeId(2));
+        assert_eq!(r.outages, 1);
+        assert_eq!(r.connected_epochs, 2);
+    }
+
+    #[test]
+    fn endpoint_outage_is_an_outage() {
+        let g = cycle4();
+        let mut sched = FaultSchedule::new(4);
+        sched.fail_node(1, NodeId(2));
+        sched.set_horizon(2);
+        let r = replay_session(&g, &NodeSet::full(4), &sched, NodeId(0), NodeId(2));
+        assert_eq!(r.connected_epochs, 1);
+        assert_eq!(r.outages, 1);
+    }
+
+    #[test]
+    fn aggregate_stats_add_up() {
+        let g = cycle4();
+        let mut sched = FaultSchedule::new(4);
+        sched.fail_edge(1, NodeId(0), NodeId(1));
+        sched.set_horizon(2);
+        let pairs = [(NodeId(0), NodeId(2)), (NodeId(1), NodeId(3))];
+        let stats = replay_sessions(&g, &NodeSet::full(4), &sched, &pairs);
+        assert_eq!(stats.sessions, 2);
+        assert!(stats.mean_availability > 0.99);
+        assert_eq!(stats.unbroken, 2);
+        // Both primaries route through the cut 0-1 edge (BFS discovers
+        // lower ids first, so 1-3 plans 1-0-3); both fail over.
+        assert_eq!(stats.failovers, 2);
+        assert_eq!(stats.reroutes, 0);
+    }
+}

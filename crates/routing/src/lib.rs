@@ -26,6 +26,7 @@
 
 pub mod bgp;
 pub mod capacity;
+pub mod chaos;
 pub mod directional;
 pub mod failover;
 pub mod inflation;
@@ -38,6 +39,7 @@ pub mod valleyfree;
 
 pub use bgp::{bgp_paths_dominated, bgp_routes, Route, RouteClass, RouteTable};
 pub use capacity::{admit_demands, AdmissionReport, CapacityModel, Demand};
+pub use chaos::{replay_session, replay_sessions, SessionReplay, SessionStats};
 pub use directional::{
     directional_connectivity, directional_connectivity_threaded, DirectionalReport,
 };

@@ -34,6 +34,7 @@ pub mod builder;
 pub mod evolve;
 pub mod geo;
 pub mod internet;
+pub mod outage;
 pub mod snapshot;
 pub mod stats;
 pub mod taxonomy;
@@ -42,6 +43,7 @@ pub mod validate;
 pub use evolve::{historical_snapshot, selection_jaccard};
 pub use geo::{GeoModel, Region};
 pub use internet::{Internet, InternetConfig, Scale};
+pub use outage::{ixp_outage_group, largest_ixp, region_outage_group};
 pub use snapshot::{load_snapshot, save_snapshot};
 pub use stats::TopologyStats;
 pub use taxonomy::{NodeKind, Relationship, Tier};

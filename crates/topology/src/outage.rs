@@ -1,0 +1,103 @@
+//! Correlated-outage group builders for fault schedules.
+//!
+//! The fault layer ([`netgraph::FaultSchedule`]) takes opaque
+//! [`netgraph::FaultGroup`]s; this module builds the two kinds of
+//! correlated failure the topology model can express:
+//!
+//! - **IXP outage** — the exchange vertex goes dark and every membership
+//!   edge it anchors is cut with it (a power/peering-LAN failure takes
+//!   the fabric down, not just the switch's AS number);
+//! - **regional outage** — every vertex a [`GeoModel`] places in one
+//!   [`Region`] fails together (a cable cut or grid failure).
+//!
+//! Groups are pure data: register them with
+//! [`netgraph::FaultSchedule::add_group`] and schedule fail/recover
+//! events against the returned index.
+
+use crate::geo::{GeoModel, Region};
+use crate::internet::Internet;
+use netgraph::{FaultGroup, NodeId};
+
+/// The correlated outage of one IXP: its vertex plus every membership
+/// edge incident to it.
+///
+/// Listing the edges is technically redundant while the vertex is down
+/// (masking the vertex already hides them) but makes the group
+/// meaningful under partial recovery scenarios that restore the vertex
+/// before its fabric.
+pub fn ixp_outage_group(net: &Internet, ixp: NodeId) -> FaultGroup {
+    let g = net.graph();
+    let edges: Vec<(NodeId, NodeId)> = g.neighbors(ixp).iter().map(|&m| (ixp, m)).collect();
+    FaultGroup::new(format!("ixp-{}", net.name(ixp)), vec![ixp], edges)
+}
+
+/// The correlated outage of every vertex `geo` assigns to `region`.
+pub fn region_outage_group(net: &Internet, geo: &GeoModel, region: Region) -> FaultGroup {
+    let members: Vec<NodeId> = net
+        .graph()
+        .nodes()
+        .filter(|&v| geo.region(v) == region)
+        .collect();
+    FaultGroup::new(format!("region-{region:?}"), members, [])
+}
+
+/// The highest-degree IXP vertex (ties broken toward the smaller id),
+/// or `None` if the topology has no IXPs.
+///
+/// Degree of an IXP vertex = number of member ASes, so this is the
+/// exchange whose outage severs the most memberships at once.
+pub fn largest_ixp(net: &Internet) -> Option<NodeId> {
+    let g = net.graph();
+    net.ixps()
+        .iter()
+        .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::internet::{InternetConfig, Scale};
+    use netgraph::undirected_key;
+
+    fn tiny() -> Internet {
+        InternetConfig::scaled(Scale::Tiny).generate(88)
+    }
+
+    #[test]
+    fn ixp_group_covers_every_membership_edge() {
+        let net = tiny();
+        let ixp = largest_ixp(&net).unwrap();
+        let group = ixp_outage_group(&net, ixp);
+        assert_eq!(group.nodes, vec![ixp]);
+        assert_eq!(group.edges.len(), net.graph().degree(ixp));
+        for &(a, b) in &group.edges {
+            assert!(a <= b, "edge keys must be normalized");
+            assert_eq!(undirected_key(NodeId(a), NodeId(b)), (a, b));
+        }
+        assert!(group.name.starts_with("ixp-"));
+    }
+
+    #[test]
+    fn largest_ixp_maximizes_degree() {
+        let net = tiny();
+        let best = largest_ixp(&net).unwrap();
+        let g = net.graph();
+        for v in net.ixps().iter() {
+            assert!(g.degree(v) <= g.degree(best));
+            if g.degree(v) == g.degree(best) {
+                assert!(best <= v, "ties must break toward the smaller id");
+            }
+        }
+    }
+
+    #[test]
+    fn region_groups_partition_the_vertices() {
+        let net = tiny();
+        let geo = GeoModel::assign(&net, 0.9, 7);
+        let total: usize = Region::all()
+            .iter()
+            .map(|&r| region_outage_group(&net, &geo, r).nodes.len())
+            .sum();
+        assert_eq!(total, net.graph().node_count());
+    }
+}

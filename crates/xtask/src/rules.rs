@@ -389,9 +389,22 @@ mod tests {
     #[test]
     fn r6_flags_adhoc_bfs_outside_the_engine() {
         let src = "use std::collections::VecDeque;\nlet mut q = VecDeque::new();\n";
-        // Product library code outside the engine: both lines fire.
-        let v = check_file("crates/brokerset/src/coverage.rs", src);
-        assert_eq!(v.iter().filter(|v| v.rule == Rule::NoAdhocBfs).count(), 2);
+        // Product library code outside the engine: both lines fire —
+        // including the fault/chaos layers, which must traverse through
+        // the engine like everyone else.
+        for path in [
+            "crates/brokerset/src/coverage.rs",
+            "crates/netgraph/src/fault.rs",
+            "crates/brokerset/src/chaos.rs",
+            "crates/routing/src/chaos.rs",
+        ] {
+            let v = check_file(path, src);
+            assert_eq!(
+                v.iter().filter(|v| v.rule == Rule::NoAdhocBfs).count(),
+                2,
+                "{path}"
+            );
+        }
         // The engine itself owns the queue.
         let v = check_file("crates/netgraph/src/traverse.rs", src);
         assert!(v.iter().all(|v| v.rule != Rule::NoAdhocBfs));
@@ -413,12 +426,20 @@ mod tests {
     #[test]
     fn r7_confines_word_ops_to_the_bitset_files() {
         let src = "let c = mask.count_ones();\nlet b = mask.trailing_zeros();\nlet l = mask.leading_zeros();\n";
-        // Product library code outside the kernel: all three lines fire.
-        let v = check_file("crates/brokerset/src/coverage.rs", src);
-        assert_eq!(
-            v.iter().filter(|v| v.rule == Rule::NoAdhocWordOps).count(),
-            3
-        );
+        // Product library code outside the kernel: all three lines fire —
+        // the fault/chaos layers get no special dispensation either.
+        for path in [
+            "crates/brokerset/src/coverage.rs",
+            "crates/netgraph/src/fault.rs",
+            "crates/brokerset/src/chaos.rs",
+        ] {
+            let v = check_file(path, src);
+            assert_eq!(
+                v.iter().filter(|v| v.rule == Rule::NoAdhocWordOps).count(),
+                3,
+                "{path}"
+            );
+        }
         // The kernel, the bitset and the histogram bucketing own the
         // word loops.
         for path in [
@@ -447,9 +468,17 @@ mod tests {
     #[test]
     fn r8_confines_instant_to_the_obs_layer() {
         let src = "let t0 = std::time::Instant::now();\n";
-        // Product library code outside obs: fires.
-        let v = check_file("crates/brokerset/src/coverage.rs", src);
-        assert!(v.iter().any(|v| v.rule == Rule::NoRawInstant));
+        // Product library code outside obs: fires. Chaos epochs are
+        // logical time — wall clocks stay confined to the obs layer.
+        for path in [
+            "crates/brokerset/src/coverage.rs",
+            "crates/netgraph/src/fault.rs",
+            "crates/brokerset/src/chaos.rs",
+            "crates/routing/src/chaos.rs",
+        ] {
+            let v = check_file(path, src);
+            assert!(v.iter().any(|v| v.rule == Rule::NoRawInstant), "{path}");
+        }
         // The observability layer owns the clock.
         let v = check_file("crates/netgraph/src/obs.rs", src);
         assert!(v.iter().all(|v| v.rule != Rule::NoRawInstant));

@@ -11,8 +11,6 @@
 
 use broker_net::prelude::*;
 use brokerset::{failure_trace, greedy_repair, FailureOrder};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let net = InternetConfig::scaled(Scale::Tiny).generate(2024);
@@ -50,8 +48,7 @@ fn main() {
         failed.insert(v);
     }
     let broken = saturated_connectivity(g, &survivors).fraction;
-    let mut rng = ChaCha8Rng::seed_from_u64(11);
-    let repaired = greedy_repair(g, &survivors, &failed, n_fail, &mut rng);
+    let repaired = greedy_repair(g, &survivors, &failed, n_fail, 11);
     let fixed = saturated_connectivity(g, repaired.brokers()).fraction;
     println!(
         "\nrepair drill: top {n_fail} brokers defect -> {:.2}%; after recruiting\n\

@@ -7,6 +7,7 @@
 //! broker-cli eval      <snapshot.json> <alg> <k>     saturated + l-hop connectivity
 //! broker-cli export    <snapshot.json> <out.dot> [k] DOT dump, brokers highlighted
 //! broker-cli audit     <snapshot.json> [alg] [k]      invariant audit (exit 1 on findings)
+//! broker-cli chaos     <snapshot.json> <alg> <k>      scripted fault timeline + certificate
 //! ```
 //!
 //! Algorithms: `maxsg`, `greedy`, `approx`, `db`, `prb`, `ixpb`, `tier1`.
@@ -17,9 +18,9 @@
 //! the snapshot is empty and the digest says so.
 
 use brokerset::{
-    approx_mcbg, degree_based, greedy_mcb, ixp_based, lhop_curve, max_subgraph_greedy,
+    approx_mcbg, chaos_trace, degree_based, greedy_mcb, ixp_based, lhop_curve, max_subgraph_greedy,
     pagerank_based, ranked_brokers, saturated_connectivity, tier1_only, ApproxConfig,
-    BrokerSelection, CoverageCertificate, SourceMode, Validate,
+    BrokerSelection, CoverageCertificate, DegradationCertificate, SourceMode, Validate,
 };
 use topology::{load_snapshot, save_snapshot, Internet, InternetConfig, Scale};
 
@@ -96,6 +97,7 @@ usage:
   broker-cli eval     <snapshot.json> <alg> <k>
   broker-cli export   <snapshot.json> <out.dot> [k]
   broker-cli audit    <snapshot.json> [alg] [k]
+  broker-cli chaos    <snapshot.json> <alg> <k>
 algorithms: maxsg greedy approx db prb ixpb tier1";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -209,6 +211,64 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 // Plain failure, not a usage error: report, skip USAGE.
                 eprintln!("audit failed: {} invariant(s) violated", rep.findings.len());
+                std::process::exit(1);
+            }
+        }
+        "chaos" => {
+            let net = load(args.get(1))?;
+            let sel = select(&net, args.get(2), args.get(3))?;
+            let g = net.graph();
+            // A compact defect-and-recover drill: the top third of the
+            // selection fails in three batches, then everyone rejoins.
+            let batch = (sel.len() / 9).max(1);
+            let mut schedule = netgraph::FaultSchedule::new(g.node_count());
+            let victims: Vec<_> = sel.order().iter().copied().take(3 * batch).collect();
+            for (i, chunk) in victims.chunks(batch).enumerate() {
+                for &b in chunk {
+                    schedule.fail_broker(i as u32 + 1, b);
+                }
+            }
+            for &b in &victims {
+                schedule.recover_broker(5, b);
+            }
+            schedule.set_horizon(7);
+            let mode = if g.node_count() <= 2000 {
+                SourceMode::Exact
+            } else {
+                SourceMode::Sampled {
+                    count: 800,
+                    seed: 1,
+                }
+            };
+            let trace = chaos_trace(g, &sel, &schedule, Some(6), mode);
+            say!(
+                "chaos drill over {} epochs ({} brokers defect in batches of {batch}):",
+                schedule.horizon(),
+                victims.len()
+            );
+            for s in &trace.steps {
+                say!(
+                    "  epoch {}: {:>4} alive, saturated {:>7.2}%, l<=6 {:>7.2}%",
+                    s.epoch,
+                    s.alive_brokers,
+                    100.0 * s.saturated,
+                    100.0 * s.lhop.unwrap_or(0.0)
+                );
+            }
+            say!(
+                "max degradation {:.2}%, recovered {:.2}%",
+                100.0 * trace.max_degradation(),
+                100.0 * trace.recovered()
+            );
+            let audit = DegradationCertificate::new(g, &sel, &schedule, mode, &trace).audit();
+            say!("certificate: {audit}");
+            if audit.is_ok() {
+                Ok(())
+            } else {
+                eprintln!(
+                    "chaos certificate failed: {} invariant(s) violated",
+                    audit.findings.len()
+                );
                 std::process::exit(1);
             }
         }

@@ -74,6 +74,20 @@ fn full_cli_workflow() {
     assert!(dot_text.starts_with("graph topology {"));
     assert!(dot_text.contains("fillcolor=gold"));
 
+    // chaos drill with its self-validating certificate
+    let out = cli()
+        .args(["chaos", snap.to_str().unwrap(), "maxsg", "30"])
+        .output()
+        .expect("spawn chaos");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chaos drill over"), "{text}");
+    assert!(text.contains("all invariants hold"), "{text}");
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
