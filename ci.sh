@@ -32,7 +32,14 @@ else
     echo "==> clippy unavailable, skipping" >&2
 fi
 
-run cargo run --offline -q -p xtask -- lint
+# The repo lint in both feature states (the obs feature changes what
+# code is compiled, not what is on disk, but running the linter from the
+# obs-featured build proves the xtask binary itself stays warning- and
+# behavior-clean under the feature), emitting the SARIF artifact and
+# checking it is well-formed with the repo's own checker.
+run cargo run --offline -q -p xtask -- lint --sarif lint.sarif
+run cargo run --offline -q -p xtask --features obs -- lint
+run cargo run --offline -q -p xtask -- sarif-check lint.sarif
 
 # Warning gate: a clean `cargo build` in BOTH feature states. The obs
 # feature must not introduce warnings (its macros expand differently in

@@ -123,8 +123,8 @@ pub fn broker_only_connectivity(
     // Sample connected pairs from the dominated edge graph.
     let dom = crate::connectivity::dominated_components(g, brokers);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut members_of: std::collections::HashMap<u32, Vec<NodeId>> =
-        std::collections::HashMap::new();
+    let mut members_of: std::collections::BTreeMap<u32, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
     for v in g.nodes() {
         members_of.entry(dom.label[v.index()]).or_default().push(v);
     }

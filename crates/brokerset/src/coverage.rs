@@ -97,6 +97,53 @@ pub fn dominated_set(g: &Graph, brokers: &NodeSet) -> NodeSet {
     covered
 }
 
+impl netgraph::Validate for CoverageState {
+    /// Re-derive the incremental-coverage invariants that hold without
+    /// the graph in hand:
+    ///
+    /// 1. the broker and covered bitsets share one capacity;
+    /// 2. `B ⊆ B ∪ N(B)` — every broker is covered;
+    /// 3. consequently `|B| ≤ f(B)`.
+    ///
+    /// (That `covered` equals `B ∪ N(B)` exactly is re-checked against
+    /// the graph by the coverage property tests; the state alone cannot
+    /// know `N`.)
+    fn audit(&self) -> netgraph::AuditReport {
+        let mut rep = netgraph::AuditReport::new("brokerset::CoverageState");
+        rep.check(
+            "coverage.capacities-aligned",
+            self.brokers.capacity() == self.covered.capacity(),
+            || {
+                format!(
+                    "brokers capacity {}, covered capacity {}",
+                    self.brokers.capacity(),
+                    self.covered.capacity()
+                )
+            },
+        );
+        rep.check(
+            "coverage.brokers-covered",
+            self.brokers.capacity() == self.covered.capacity()
+                && self.brokers.iter().all(|v| self.covered.contains(v)),
+            || "a broker is not in the covered set".into(),
+        );
+        rep.check(
+            "coverage.monotone-count",
+            self.brokers.len() <= self.covered.len(),
+            || {
+                format!(
+                    "|B| = {} exceeds f(B) = {}",
+                    self.brokers.len(),
+                    self.covered.len()
+                )
+            },
+        );
+        rep.absorb(self.brokers.audit());
+        rep.absorb(self.covered.audit());
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +177,38 @@ mod tests {
             let realized = cov.add(&g, NodeId(v));
             assert_eq!(predicted, realized);
         }
+    }
+
+    #[test]
+    fn audit_accepts_and_detects_corruption() {
+        use netgraph::Validate;
+        let g = from_edges(4, [(0, 1), (1, 2)].map(|(a, b)| (NodeId(a), NodeId(b))));
+        let mut cov = CoverageState::new(&g);
+        cov.add(&g, NodeId(1));
+        assert!(cov.audit().is_ok());
+        assert!(CoverageState::new(&g).audit().is_ok());
+
+        // A broker outside the covered set breaks B ⊆ B ∪ N(B).
+        let mut bad = cov.clone();
+        bad.covered = NodeSet::new(4); // drop all coverage, keep brokers
+        let rep = bad.audit();
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.invariant == "coverage.brokers-covered"));
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.invariant == "coverage.monotone-count"));
+
+        // Capacity mismatch between the two bitsets.
+        let mut bad = cov;
+        bad.covered = NodeSet::full(9);
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "coverage.capacities-aligned"));
     }
 
     #[test]

@@ -36,20 +36,22 @@ pub fn lhop_curve_parallel(
     }
     let sources = sample_sources(g, mode);
 
-    // Per-chunk partial results: (cum histogram, per-source finals).
-    let partials: Vec<(Vec<u64>, Vec<f64>)> =
-        par::map_chunks(&sources, par::DEFAULT_CHUNK, threads, |chunk| {
-            run_sources(g, brokers, max_l, chunk)
-        });
-
-    let mut cum = vec![0u64; max_l];
-    let mut finals: Vec<f64> = Vec::with_capacity(sources.len());
-    for (partial_cum, partial_finals) in partials {
-        for (acc, c) in cum.iter_mut().zip(partial_cum) {
-            *acc += c;
-        }
-        finals.extend(partial_finals);
-    }
+    // Per-chunk partials (cum histogram, per-source finals), merged in
+    // chunk-index order through the blessed reducer.
+    let (cum, finals) = par::map_reduce(
+        &sources,
+        par::DEFAULT_CHUNK,
+        threads,
+        |chunk| run_sources(g, brokers, max_l, chunk),
+        (vec![0u64; max_l], Vec::with_capacity(sources.len())),
+        |(mut cum, mut finals), (partial_cum, partial_finals)| {
+            for (acc, c) in cum.iter_mut().zip(partial_cum) {
+                *acc += c;
+            }
+            finals.extend(partial_finals);
+            (cum, finals)
+        },
+    );
 
     let denom = sources.len() as f64 * (n as f64 - 1.0);
     let fractions: Vec<f64> = cum.iter().map(|&c| c as f64 / denom).collect();

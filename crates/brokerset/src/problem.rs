@@ -162,6 +162,32 @@ fn extend(curve: &[f64], i: usize) -> f64 {
     }
 }
 
+impl netgraph::Validate for PathLengthConstraint {
+    /// Re-derive the constructor's contract on the stored curve: ε is
+    /// finite and non-negative, and the reference is a monotone CDF with
+    /// values in `[0, 1]` (up to the constructor's 1e-12 slack).
+    fn audit(&self) -> netgraph::AuditReport {
+        let mut rep = netgraph::AuditReport::new("brokerset::PathLengthConstraint");
+        rep.check(
+            "plc.epsilon-valid",
+            self.epsilon.is_finite() && self.epsilon >= 0.0,
+            || format!("epsilon {}", self.epsilon),
+        );
+        let monotone = self.reference.windows(2).all(|w| w[1] >= w[0] - 1e-12);
+        rep.check("plc.reference-monotone", monotone, || {
+            "reference curve decreases somewhere".into()
+        });
+        let in_unit = self
+            .reference
+            .iter()
+            .all(|&x| x.is_finite() && (-1e-12..=1.0 + 1e-12).contains(&x));
+        rep.check("plc.reference-in-unit-interval", in_unit, || {
+            "a reference value is outside [0, 1]".into()
+        });
+        rep
+    }
+}
+
 /// The decision version of the Path-Dominating Set problem (Problem 1):
 /// does `brokers` give every pair in the graph a B-dominating path?
 ///
@@ -217,6 +243,39 @@ mod tests {
         assert!(c.is_satisfied_by(&[0.2, 0.6, 0.9, 0.99, 0.99, 0.99]));
         let dev = c.max_deviation(&[0.2, 0.6, 0.9]);
         assert!((dev - 0.09).abs() < 1e-12); // 0.99 vs flat 0.9
+    }
+
+    #[test]
+    fn constraint_audit_accepts_and_detects_corruption() {
+        use netgraph::Validate;
+        let good = PathLengthConstraint::new(vec![0.2, 0.6, 0.99], 0.05);
+        assert!(good.audit().is_ok());
+
+        // The fields are pub, so a caller can corrupt a constructed
+        // constraint; the audit re-derives the constructor's contract.
+        let mut bad = good.clone();
+        bad.epsilon = f64::NAN;
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "plc.epsilon-valid"));
+
+        let mut bad = good.clone();
+        bad.reference[1] = 0.1; // decreasing after 0.2
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "plc.reference-monotone"));
+
+        let mut bad = good;
+        bad.reference[2] = 1.7;
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "plc.reference-in-unit-interval"));
     }
 
     #[test]

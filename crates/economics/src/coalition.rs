@@ -82,6 +82,38 @@ impl CharacteristicFn for TableGame {
     }
 }
 
+impl netgraph::Validate for TableGame {
+    /// Re-derive the constructor's contract from the stored table: the
+    /// length is exactly `2^n`, the grand-coalition index fits in the
+    /// mask width, `U(∅) = 0`, and every value is finite.
+    fn audit(&self) -> netgraph::AuditReport {
+        let mut rep = netgraph::AuditReport::new("economics::TableGame");
+        rep.check(
+            "game.table-shape",
+            self.values.len() == 1usize << self.n,
+            || {
+                format!(
+                    "{} entries for {} players (expected {})",
+                    self.values.len(),
+                    self.n,
+                    1usize << self.n
+                )
+            },
+        );
+        rep.check(
+            "game.empty-coalition-zero",
+            self.values.first().is_some_and(|v| v.abs() < 1e-12),
+            || format!("U(empty) = {:?}", self.values.first()),
+        );
+        rep.check(
+            "game.values-finite",
+            self.values.iter().all(|v| v.is_finite()),
+            || "a coalition value is not finite".into(),
+        );
+        rep
+    }
+}
+
 fn check_player_cap(n: usize) {
     assert!(n <= 20, "exhaustive checks capped at 20 players, got {n}");
 }
@@ -267,6 +299,40 @@ mod tests {
         assert!(is_superadditive(&g));
         assert!(is_supermodular(&g));
         assert_eq!(marginal_contribution(&g, 0b01, 1), 4.0);
+    }
+
+    #[test]
+    fn table_audit_accepts_and_detects_corruption() {
+        use netgraph::Validate;
+        let good = TableGame::new(vec![0.0, 1.0, 2.0, 5.0]);
+        assert!(good.audit().is_ok());
+
+        // Table length no longer 2^n for the cached player count.
+        let mut bad = good.clone();
+        bad.values.pop();
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "game.table-shape"));
+
+        // U(∅) drifted away from zero.
+        let mut bad = good.clone();
+        bad.values[0] = 0.5;
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "game.empty-coalition-zero"));
+
+        // A non-finite coalition value.
+        let mut bad = good;
+        bad.values[3] = f64::INFINITY;
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "game.values-finite"));
     }
 
     #[test]

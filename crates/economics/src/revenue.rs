@@ -62,7 +62,9 @@ pub struct PathLedger {
 /// Panics if the tariff is invalid or `employees + 1 > hops` on a
 /// multi-hop path (more hired relays than interior positions).
 pub fn account_path(tariff: &Tariff, hops: usize, employees: usize) -> PathLedger {
-    tariff.validate().expect("invalid tariff");
+    if let Err(e) = tariff.validate() {
+        panic!("invalid tariff: {e}");
+    }
     if hops > 0 {
         assert!(
             employees <= hops.saturating_sub(1),

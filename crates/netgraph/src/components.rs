@@ -257,6 +257,85 @@ pub fn giant_component(g: &Graph) -> NodeSet {
     out
 }
 
+impl crate::Validate for UnionFind {
+    /// Re-derive the union-find invariants from the raw arrays:
+    ///
+    /// 1. `parent` and `size` are index-aligned and every parent id is in
+    ///    range;
+    /// 2. every parent chain terminates at a root (no cycles);
+    /// 3. the cached component count equals the number of roots;
+    /// 4. each root's cached size equals the number of elements whose
+    ///    chain reaches it, and the sizes sum to `n`;
+    /// 5. the cached `largest` equals the true maximum component size.
+    fn audit(&self) -> crate::AuditReport {
+        let mut rep = crate::AuditReport::new("netgraph::UnionFind");
+        let n = self.parent.len();
+        rep.check("uf.arrays-aligned", self.size.len() == n, || {
+            format!("parent len {n}, size len {}", self.size.len())
+        });
+        let in_range = self.parent.iter().all(|&p| (p as usize) < n.max(1));
+        rep.check("uf.parents-in-range", n == 0 || in_range, || {
+            format!("a parent id is >= {n}")
+        });
+        if n == 0 || !in_range || self.size.len() != n {
+            return rep; // chasing chains below would be unsound
+        }
+        // Resolve every element's root without path compression; a chain
+        // longer than n elements means a cycle.
+        let mut root_of = vec![u32::MAX; n];
+        let mut cyclic = false;
+        for (i, slot) in root_of.iter_mut().enumerate() {
+            let mut x = i;
+            let mut steps = 0usize;
+            while self.parent[x] as usize != x {
+                x = self.parent[x] as usize;
+                steps += 1;
+                if steps > n {
+                    cyclic = true;
+                    break;
+                }
+            }
+            *slot = x as u32;
+        }
+        rep.check("uf.acyclic", !cyclic, || {
+            "a parent chain does not terminate".into()
+        });
+        if cyclic {
+            return rep;
+        }
+        let mut derived_size = vec![0u32; n];
+        for &r in &root_of {
+            derived_size[r as usize] += 1;
+        }
+        let roots: Vec<usize> = (0..n).filter(|&i| self.parent[i] as usize == i).collect();
+        rep.check("uf.component-count", self.components == roots.len(), || {
+            format!(
+                "cached {} components, found {} roots",
+                self.components,
+                roots.len()
+            )
+        });
+        let sizes_ok = roots.iter().all(|&r| self.size[r] == derived_size[r]);
+        rep.check("uf.root-sizes", sizes_ok, || {
+            roots
+                .iter()
+                .find(|&&r| self.size[r] != derived_size[r])
+                .map(|&r| {
+                    format!(
+                        "root {r}: cached size {}, derived {}",
+                        self.size[r], derived_size[r]
+                    )
+                })
+                .unwrap_or_default()
+        });
+        let true_largest = roots.iter().map(|&r| derived_size[r]).max().unwrap_or(0);
+        rep.check("uf.largest", self.largest == true_largest, || {
+            format!("cached largest {}, derived {true_largest}", self.largest)
+        });
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +421,46 @@ mod tests {
         let c = connected_components(&g);
         let comp_of_0 = c.label[0] as usize;
         assert_eq!(c.members(comp_of_0), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn union_find_audit_accepts_and_detects_corruption() {
+        use crate::Validate;
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 3);
+        assert!(uf.audit().is_ok(), "{}", uf.audit());
+        assert!(UnionFind::new(0).audit().is_ok());
+
+        // Corrupt the cached component count.
+        let mut bad = uf.clone();
+        bad.components += 1;
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "uf.component-count"));
+
+        // Corrupt a root's cached size.
+        let mut bad = uf.clone();
+        let root = bad.find(0);
+        bad.size[root] += 1;
+        let rep = bad.audit();
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.invariant == "uf.root-sizes" || f.invariant == "uf.largest"));
+
+        // Introduce a parent cycle between two roots' children.
+        let mut bad = uf.clone();
+        let (a, b) = (bad.find(0), bad.find(4));
+        bad.parent[a] = b as u32;
+        bad.parent[b] = a as u32;
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "uf.acyclic"));
     }
 }

@@ -35,7 +35,7 @@ use crate::validate::{AuditReport, Validate};
 use crate::view::GraphView;
 use crate::{undirected_key, NodeId, NodeSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// What a fault event does to its target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,6 +100,24 @@ impl FaultGroup {
                 .map(|(u, v)| undirected_key(u, v))
                 .collect(),
         }
+    }
+}
+
+impl Validate for FaultGroup {
+    /// Audit the group against its constructor contract: a non-empty
+    /// label and edge keys normalized to `(min, max)` with distinct
+    /// endpoints (self-edges cannot exist in the loop-free graphs the
+    /// schedule masks).
+    fn audit(&self) -> AuditReport {
+        let mut rep = AuditReport::new("netgraph::FaultGroup");
+        rep.check("group.named", !self.name.is_empty(), || {
+            "empty group label".into()
+        });
+        let bad_keys = self.edges.iter().filter(|&&(a, b)| a >= b).count();
+        rep.check("group.edge-keys-normalized", bad_keys == 0, || {
+            format!("{bad_keys} edge key(s) not strictly (min, max)")
+        });
+        rep
     }
 }
 
@@ -295,7 +313,7 @@ impl Validate for FaultSchedule {
 pub struct FaultState {
     epoch: u32,
     failed_nodes: NodeSet,
-    failed_edges: HashSet<(u32, u32)>,
+    failed_edges: BTreeSet<(u32, u32)>,
     failed_brokers: NodeSet,
 }
 
@@ -305,7 +323,7 @@ impl FaultState {
         FaultState {
             epoch: 0,
             failed_nodes: NodeSet::new(node_count),
-            failed_edges: HashSet::new(),
+            failed_edges: BTreeSet::new(),
             failed_brokers: NodeSet::new(node_count),
         }
     }
@@ -321,7 +339,7 @@ impl FaultState {
     }
 
     /// Undirected edges currently cut (masked by [`FaultView`]).
-    pub fn failed_edges(&self) -> &HashSet<(u32, u32)> {
+    pub fn failed_edges(&self) -> &BTreeSet<(u32, u32)> {
         &self.failed_edges
     }
 
@@ -454,6 +472,37 @@ mod tests {
             4,
             [(0, 1), (1, 2), (2, 3), (3, 0)].map(|(a, b)| (NodeId(a), NodeId(b))),
         )
+    }
+
+    #[test]
+    fn group_audit_accepts_and_detects_corruption() {
+        use crate::Validate;
+        let good = FaultGroup {
+            name: "region-EU".into(),
+            nodes: vec![NodeId(1)],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        assert!(good.audit().is_ok());
+
+        let mut bad = good.clone();
+        bad.name.clear();
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "group.named"));
+
+        let mut bad = good.clone();
+        bad.edges.push((2, 2)); // self-edge: not strictly (min, max)
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "group.edge-keys-normalized"));
+
+        let mut bad = good;
+        bad.edges.push((5, 3)); // reversed key
+        assert!(!bad.audit().is_ok());
     }
 
     #[test]

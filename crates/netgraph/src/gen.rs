@@ -25,7 +25,7 @@ pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
         "G(n={n}, m={m}) infeasible: at most {max_edges} edges"
     );
     let mut b = GraphBuilder::with_capacity(n, m);
-    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut chosen = std::collections::BTreeSet::new();
     while chosen.len() < m {
         let u = rng.gen_range(0..n);
         let v = rng.gen_range(0..n);
@@ -96,7 +96,7 @@ pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Gra
         "beta must be in [0, 1], got {beta}"
     );
     let mut b = GraphBuilder::with_capacity(n, n * k);
-    let mut present = std::collections::HashSet::with_capacity(n * k * 2);
+    let mut present = std::collections::BTreeSet::new();
     // Lattice edges (u, u + j mod n) for j = 1..=k.
     for u in 0..n {
         for j in 1..=k {

@@ -308,6 +308,33 @@ impl GraphBuilder {
     }
 }
 
+impl crate::Validate for GraphBuilder {
+    /// Audit the pending edge list against the builder's insert-time
+    /// contract: every recorded edge is endpoint-normalized (`a < b`, so
+    /// no self-loops survive) and references vertices in `0..nodes`.
+    fn audit(&self) -> crate::AuditReport {
+        let mut rep = crate::AuditReport::new("netgraph::GraphBuilder");
+        let n = self.nodes;
+        let mut unnormalized = 0usize;
+        let mut out_of_range = 0usize;
+        for &(a, b) in &self.edges {
+            if a >= b {
+                unnormalized += 1;
+            }
+            if a.index() >= n || b.index() >= n {
+                out_of_range += 1;
+            }
+        }
+        rep.check("builder.edges-normalized", unnormalized == 0, || {
+            format!("{unnormalized} edge(s) with a >= b")
+        });
+        rep.check("builder.edges-in-range", out_of_range == 0, || {
+            format!("{out_of_range} edge(s) reference vertices outside 0..{n}")
+        });
+        rep
+    }
+}
+
 impl Graph {
     /// Raw CSR arrays for the in-crate invariant audit
     /// ([`crate::validate`]); not part of the public surface.
@@ -368,6 +395,39 @@ mod tests {
 
     fn pair(a: u32, b: u32) -> (NodeId, NodeId) {
         (NodeId(a), NodeId(b))
+    }
+
+    #[test]
+    fn builder_audit_accepts_and_detects_corruption() {
+        use crate::Validate;
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(3), NodeId(1)); // stored normalized (1, 3)
+        b.add_edge(NodeId(0), NodeId(2));
+        assert!(b.audit().is_ok());
+        assert!(GraphBuilder::new(0).audit().is_ok());
+
+        // A denormalized (reversed) edge bypassing add_edge.
+        let mut bad = b.clone();
+        bad.edges.push((NodeId(2), NodeId(0)));
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "builder.edges-normalized"));
+
+        // A surviving self-loop is a normalization failure too (a < b).
+        let mut bad = b.clone();
+        bad.edges.push((NodeId(1), NodeId(1)));
+        assert!(!bad.audit().is_ok());
+
+        // An edge referencing a vertex outside 0..nodes.
+        let mut bad = b.clone();
+        bad.edges.push((NodeId(1), NodeId(9)));
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "builder.edges-in-range"));
     }
 
     #[test]

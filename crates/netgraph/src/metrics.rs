@@ -50,23 +50,29 @@ pub fn betweenness_threaded<R: Rng>(
     };
     let scale = n as f64 / seeds.len() as f64;
 
-    let partials: Vec<Vec<f64>> = par::map_chunks(&seeds, par::DEFAULT_CHUNK, threads, |chunk| {
-        let mut centrality = vec![0.0f64; n];
-        let mut sigma = vec![0.0f64; n];
-        let mut delta = vec![0.0f64; n];
-        with_arena(|arena| {
-            for &s in chunk {
-                brandes_source(g, s, scale, arena, &mut sigma, &mut delta, &mut centrality);
+    let mut centrality = par::map_reduce(
+        &seeds,
+        par::DEFAULT_CHUNK,
+        threads,
+        |chunk| {
+            let mut centrality = vec![0.0f64; n];
+            let mut sigma = vec![0.0f64; n];
+            let mut delta = vec![0.0f64; n];
+            with_arena(|arena| {
+                for &s in chunk {
+                    brandes_source(g, s, scale, arena, &mut sigma, &mut delta, &mut centrality);
+                }
+            });
+            centrality
+        },
+        vec![0.0f64; n],
+        |mut acc, part| {
+            for (c, p) in acc.iter_mut().zip(part) {
+                *c += p;
             }
-        });
-        centrality
-    });
-    let mut centrality = vec![0.0f64; n];
-    for part in partials {
-        for (c, p) in centrality.iter_mut().zip(part) {
-            *c += p;
-        }
-    }
+            acc
+        },
+    );
     // Undirected graphs count each pair twice.
     centrality.iter_mut().for_each(|c| *c /= 2.0);
     centrality
@@ -244,39 +250,44 @@ pub fn closeness_threaded<R: Rng>(
         }
     };
     let scale = n as f64 / targets.len() as f64;
-    let partials = par::map_chunks(&targets, par::DEFAULT_CHUNK, threads, |chunk| {
-        let mut dist_sum = vec![0.0f64; n];
-        let mut reach_cnt = vec![0u32; n];
-        // Each chunk is at most one 64-lane msbfs batch (DEFAULT_CHUNK =
-        // LANES); a vertex discovered at `level` by `c` lanes contributes
-        // `level` to `c` distance sums at once. The increments are small
-        // integers (exact in f64), so grouping lanes cannot change the
-        // accumulated bits versus the historical one-BFS-per-target loop.
-        with_msbfs(|arena| {
-            for batch in chunk.chunks(msbfs::LANES) {
-                arena.run(FullView::new(g), batch, u32::MAX, |wf| {
-                    let level = wf.level();
-                    if level == 0 {
-                        return; // self pairs, excluded
-                    }
-                    wf.for_each_new(|v, lanes| {
-                        let c = lanes.count();
-                        dist_sum[v.index()] += f64::from(level * c);
-                        reach_cnt[v.index()] += c;
+    let (dist_sum, reach_cnt) = par::map_reduce(
+        &targets,
+        par::DEFAULT_CHUNK,
+        threads,
+        |chunk| {
+            let mut dist_sum = vec![0.0f64; n];
+            let mut reach_cnt = vec![0u32; n];
+            // Each chunk is at most one 64-lane msbfs batch (DEFAULT_CHUNK =
+            // LANES); a vertex discovered at `level` by `c` lanes contributes
+            // `level` to `c` distance sums at once. The increments are small
+            // integers (exact in f64), so grouping lanes cannot change the
+            // accumulated bits versus the historical one-BFS-per-target loop.
+            with_msbfs(|arena| {
+                for batch in chunk.chunks(msbfs::LANES) {
+                    arena.run(FullView::new(g), batch, u32::MAX, |wf| {
+                        let level = wf.level();
+                        if level == 0 {
+                            return; // self pairs, excluded
+                        }
+                        wf.for_each_new(|v, lanes| {
+                            let c = lanes.count();
+                            dist_sum[v.index()] += f64::from(level * c);
+                            reach_cnt[v.index()] += c;
+                        });
                     });
-                });
+                }
+            });
+            (dist_sum, reach_cnt)
+        },
+        (vec![0.0f64; n], vec![0u32; n]),
+        |(mut ds_acc, mut rc_acc), (ds, rc)| {
+            for i in 0..n {
+                ds_acc[i] += ds[i];
+                rc_acc[i] += rc[i];
             }
-        });
-        (dist_sum, reach_cnt)
-    });
-    let mut dist_sum = vec![0.0f64; n];
-    let mut reach_cnt = vec![0u32; n];
-    for (ds, rc) in partials {
-        for i in 0..n {
-            dist_sum[i] += ds[i];
-            reach_cnt[i] += rc[i];
-        }
-    }
+            (ds_acc, rc_acc)
+        },
+    );
     (0..n)
         .map(|v| {
             let sum = dist_sum[v] * scale;

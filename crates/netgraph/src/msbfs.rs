@@ -383,6 +383,49 @@ pub fn msbfs_distances<V: GraphView>(view: V, sources: &[NodeId]) -> Vec<Vec<Opt
     dist
 }
 
+impl crate::Validate for MsBfsArena {
+    /// Audit the lane-mask buffers:
+    ///
+    /// 1. the three per-vertex mask arrays are index-aligned;
+    /// 2. every frontier-list vertex is in range and actually carries
+    ///    frontier bits;
+    /// 3. frontier bits are a subset of the seen bits (a vertex cannot be
+    ///    on the wavefront of a lane that has not discovered it).
+    fn audit(&self) -> crate::AuditReport {
+        let mut rep = crate::AuditReport::new("netgraph::MsBfsArena");
+        let n = self.seen.len();
+        rep.check(
+            "msbfs.buffers-aligned",
+            self.frontier.len() == n && self.next.len() == n,
+            || {
+                format!(
+                    "seen {} frontier {} next {}",
+                    n,
+                    self.frontier.len(),
+                    self.next.len()
+                )
+            },
+        );
+        let in_range = self.front.iter().all(|v| v.index() < n);
+        rep.check("msbfs.front-in-range", in_range, || {
+            format!("a frontier vertex id is >= {n}")
+        });
+        if !in_range || self.frontier.len() != n {
+            return rep;
+        }
+        rep.check(
+            "msbfs.front-has-bits",
+            self.front.iter().all(|v| self.frontier[v.index()] != 0),
+            || "a listed frontier vertex has an empty lane mask".into(),
+        );
+        let subset = (0..n).all(|v| self.frontier[v] & !self.seen[v] == 0);
+        rep.check("msbfs.frontier-subset-of-seen", subset, || {
+            "a frontier bit is set for a lane that never saw the vertex".into()
+        });
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +435,54 @@ mod tests {
 
     fn path(n: u32) -> crate::Graph {
         from_edges(n as usize, (0..n - 1).map(|i| (NodeId(i), NodeId(i + 1))))
+    }
+
+    #[test]
+    fn arena_audit_accepts_and_detects_corruption() {
+        use crate::Validate;
+        assert!(MsBfsArena::new().audit().is_ok());
+
+        // A hand-built mid-wave state: vertex 0 seen+frontier on lane 0.
+        let mut arena = MsBfsArena {
+            seen: vec![0b1, 0b0, 0b0],
+            frontier: vec![0b1, 0, 0],
+            next: vec![0, 0, 0],
+            front: vec![NodeId(0)],
+        };
+        assert!(arena.audit().is_ok());
+
+        // Frontier bit on a lane that never discovered the vertex.
+        arena.frontier[1] = 0b10;
+        arena.front.push(NodeId(1));
+        let rep = arena.audit();
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.invariant == "msbfs.frontier-subset-of-seen"));
+
+        // Listed frontier vertex with an empty mask.
+        arena.frontier[1] = 0;
+        assert!(arena
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "msbfs.front-has-bits"));
+
+        // Out-of-range frontier vertex short-circuits safely.
+        arena.front.push(NodeId(99));
+        assert!(arena
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "msbfs.front-in-range"));
+
+        // Misaligned per-vertex buffers.
+        arena.next.pop();
+        assert!(arena
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "msbfs.buffers-aligned"));
     }
 
     #[test]

@@ -275,9 +275,85 @@ impl Iterator for Iter<'_> {
     }
 }
 
+impl crate::Validate for NodeSet {
+    /// Re-derive the bitset invariants from the raw words:
+    ///
+    /// 1. the word vector is exactly `ceil(capacity / 64)` long;
+    /// 2. no bit is set at a position `>= capacity` (the tail of the last
+    ///    word is clear);
+    /// 3. the cached length equals the total popcount.
+    fn audit(&self) -> crate::AuditReport {
+        let mut rep = crate::AuditReport::new("netgraph::NodeSet");
+        rep.check(
+            "nodeset.word-count",
+            self.words.len() == self.capacity.div_ceil(64),
+            || {
+                format!(
+                    "{} words for capacity {} (expected {})",
+                    self.words.len(),
+                    self.capacity,
+                    self.capacity.div_ceil(64)
+                )
+            },
+        );
+        let tail = self.capacity % 64;
+        let tail_clear = tail == 0
+            || self
+                .words
+                .last()
+                .is_none_or(|&w| w & !((1u64 << tail) - 1) == 0);
+        rep.check("nodeset.tail-clear", tail_clear, || {
+            format!("bits set beyond capacity {}", self.capacity)
+        });
+        let popcount: usize = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        rep.check("nodeset.cached-len", popcount == self.len, || {
+            format!("cached len {}, popcount {popcount}", self.len)
+        });
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn audit_accepts_and_detects_corruption() {
+        use crate::Validate;
+        let mut s = NodeSet::new(70);
+        s.insert(NodeId(3));
+        s.insert(NodeId(69));
+        assert!(s.audit().is_ok());
+        assert!(NodeSet::new(0).audit().is_ok());
+        assert!(NodeSet::full(64).audit().is_ok());
+
+        // Cached length out of sync with the popcount.
+        let mut bad = s.clone();
+        bad.len = 5;
+        let rep = bad.audit();
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.invariant == "nodeset.cached-len"));
+
+        // A bit set beyond the capacity (in the last word's tail).
+        let mut bad = s.clone();
+        *bad.words.last_mut().unwrap() |= 1 << 63; // index 127 >= 70
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "nodeset.tail-clear"));
+
+        // Word vector length no longer matches the capacity.
+        let mut bad = s.clone();
+        bad.words.push(0);
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "nodeset.word-count"));
+    }
 
     #[test]
     fn insert_remove_contains() {

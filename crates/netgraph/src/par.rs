@@ -72,7 +72,11 @@ where
                 scope.spawn(|| {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        // One fetch per *chunk*, so the stronger ordering
+                        // costs nothing measurable; SeqCst keeps the
+                        // executor inside the workspace-wide "Relaxed only
+                        // in obs.rs" rule (R11).
+                        let i = next.fetch_add(1, Ordering::SeqCst);
                         let Some(chunk) = chunks.get(i) else { break };
                         local.push((i, f(chunk)));
                     }
@@ -103,6 +107,46 @@ where
     let out: Vec<R> = slots.into_iter().flatten().collect();
     assert_eq!(out.len(), n_chunks, "a chunk result went missing");
     out
+}
+
+/// Map chunks through `f` in parallel, then fold the per-chunk results
+/// into `init` **in chunk-index order** with `merge`.
+///
+/// This is the blessed way to reduce floating-point partials from a
+/// parallel sweep: because the fold order is the chunk order (never the
+/// completion order), the reduction associates identically for every
+/// `threads` value and the result is bit-stable. The determinism lint
+/// (R10) rejects ad-hoc `+=` merges of parallel float results outside
+/// this module precisely so that all such merges funnel through here.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`, and re-raises worker panics.
+pub fn map_reduce<T, R, A, F, M>(
+    items: &[T],
+    chunk_size: usize,
+    threads: usize,
+    f: F,
+    init: A,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+    M: FnMut(A, R) -> A,
+{
+    map_chunks(items, chunk_size, threads, f)
+        .into_iter()
+        .fold(init, merge)
+}
+
+/// Sum a float slice with a sequential left fold — a fixed association
+/// order regardless of how the slice was produced. Pairs with
+/// [`map_reduce`] as the other R10-blessed reduction primitive: use it
+/// wherever a mean/total of per-item parallel results is taken.
+pub fn sum_f64(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0f64, |acc, &x| acc + x)
 }
 
 /// Map each item of `items` through `f` in parallel, returning per-item
@@ -171,6 +215,54 @@ mod tests {
         for threads in [2, 4, 7] {
             assert_eq!(base.to_bits(), reduce(threads).to_bits());
         }
+    }
+
+    #[test]
+    fn map_reduce_matches_sequential_fold() {
+        let items: Vec<f64> = (0..3000).map(|i| 1.0 / (i as f64 + 0.3)).collect();
+        let expect = map_chunks(&items, DEFAULT_CHUNK, 1, sum_f64)
+            .into_iter()
+            .fold(0.0f64, |a, x| a + x);
+        for threads in [1, 2, 4, 7] {
+            let got = map_reduce(&items, DEFAULT_CHUNK, threads, sum_f64, 0.0f64, |a, x| {
+                a + x
+            });
+            assert_eq!(got.to_bits(), expect.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_vector_accumulator() {
+        // Vector-valued accumulators (the betweenness merge shape).
+        let items: Vec<usize> = (0..200).collect();
+        let hist = map_reduce(
+            &items,
+            16,
+            4,
+            |chunk| {
+                let mut h = [0usize; 4];
+                for &i in chunk {
+                    h[i % 4] += 1;
+                }
+                h
+            },
+            [0usize; 4],
+            |mut acc, h| {
+                for (a, b) in acc.iter_mut().zip(h) {
+                    *a += b;
+                }
+                acc
+            },
+        );
+        assert_eq!(hist, [50, 50, 50, 50]);
+    }
+
+    #[test]
+    fn sum_f64_is_left_fold() {
+        let xs = [1e16, 1.0, -1e16, 1.0];
+        // Left association: ((1e16 + 1) - 1e16) + 1 == 1.0 exactly.
+        assert_eq!(sum_f64(&xs).to_bits(), 1.0f64.to_bits());
+        assert_eq!(sum_f64(&[]), 0.0);
     }
 
     #[test]

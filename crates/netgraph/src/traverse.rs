@@ -410,6 +410,71 @@ pub fn path_from_parents(
     Some(path)
 }
 
+impl crate::Validate for TraversalArena {
+    /// Re-derive the arena's epoch-stamping invariants:
+    ///
+    /// 1. the three per-vertex buffers are index-aligned;
+    /// 2. a never-run arena (epoch 0) has an empty visit order;
+    /// 3. every vertex in the visit order is in range and stamped with
+    ///    the current epoch, and *only* those vertices are — the stamp
+    ///    count equals the order length (so there are no duplicates and
+    ///    no unlisted visited vertices);
+    /// 4. distances along the visit order are non-decreasing (BFS order).
+    fn audit(&self) -> crate::AuditReport {
+        let mut rep = crate::AuditReport::new("netgraph::TraversalArena");
+        let n = self.seen.len();
+        rep.check(
+            "arena.buffers-aligned",
+            self.dist.len() == n && self.parent.len() == n,
+            || {
+                format!(
+                    "seen {} dist {} parent {}",
+                    n,
+                    self.dist.len(),
+                    self.parent.len()
+                )
+            },
+        );
+        rep.check(
+            "arena.epoch-zero-fresh",
+            self.epoch != 0 || self.order.is_empty(),
+            || format!("epoch 0 but visit order has {} entries", self.order.len()),
+        );
+        let in_range = self.order.iter().all(|v| v.index() < n);
+        rep.check("arena.order-in-range", in_range, || {
+            format!("a visited vertex id is >= {n}")
+        });
+        if !in_range || self.dist.len() != n {
+            return rep;
+        }
+        rep.check(
+            "arena.order-stamped",
+            self.order
+                .iter()
+                .all(|v| self.seen[v.index()] == self.epoch),
+            || "a vertex in the visit order lacks the current epoch stamp".into(),
+        );
+        if self.epoch != 0 {
+            let stamped = self.seen.iter().filter(|&&s| s == self.epoch).count();
+            rep.check("arena.stamp-count", stamped == self.order.len(), || {
+                format!(
+                    "{} vertices stamped, {} in the visit order",
+                    stamped,
+                    self.order.len()
+                )
+            });
+        }
+        let monotone = self
+            .order
+            .windows(2)
+            .all(|w| self.dist[w[0].index()] <= self.dist[w[1].index()]);
+        rep.check("arena.order-bfs-monotone", monotone, || {
+            "visit order distances decrease somewhere".into()
+        });
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,5 +690,45 @@ mod tests {
             with_arena(|inner| inner.run(FullView::new(&g), NodeId(1)))
         });
         assert_eq!(nested, 5);
+    }
+
+    #[test]
+    fn arena_audit_accepts_and_detects_corruption() {
+        use crate::Validate;
+        let g = path_graph(6);
+        let mut arena = TraversalArena::new();
+        assert!(arena.audit().is_ok(), "fresh arena must pass");
+        arena.run(FullView::new(&g), NodeId(0));
+        assert!(arena.audit().is_ok(), "{}", arena.audit());
+
+        // Smuggle a vertex into the order without stamping it.
+        let mut bad = arena.clone();
+        bad.seen[3] = bad.epoch.wrapping_sub(1);
+        let rep = bad.audit();
+        assert!(
+            rep.findings
+                .iter()
+                .any(|f| f.invariant == "arena.order-stamped"
+                    || f.invariant == "arena.stamp-count"),
+            "{rep}"
+        );
+
+        // Break BFS monotonicity by swapping two distances.
+        let mut bad = arena.clone();
+        bad.dist[0] = 9;
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "arena.order-bfs-monotone"));
+
+        // Misalign the buffers.
+        let mut bad = arena.clone();
+        bad.dist.push(0);
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "arena.buffers-aligned"));
     }
 }

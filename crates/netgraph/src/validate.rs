@@ -138,6 +138,35 @@ fn summarize(total: usize, exemplars: &[String]) -> String {
     }
 }
 
+impl Validate for AuditReport {
+    /// Meta-audit: a report is itself well-formed when it names a
+    /// subject, never records more findings than checks, and every
+    /// finding names its invariant.
+    fn audit(&self) -> AuditReport {
+        let mut rep = AuditReport::new("netgraph::AuditReport");
+        rep.check("report.has-subject", !self.subject.is_empty(), || {
+            "empty subject".into()
+        });
+        rep.check(
+            "report.findings-bounded",
+            self.findings.len() <= self.checks,
+            || {
+                format!(
+                    "{} findings from only {} checks",
+                    self.findings.len(),
+                    self.checks
+                )
+            },
+        );
+        rep.check(
+            "report.findings-named",
+            self.findings.iter().all(|f| !f.invariant.is_empty()),
+            || "a finding has an empty invariant name".into(),
+        );
+        rep
+    }
+}
+
 impl Validate for Graph {
     /// Deep CSR audit, re-deriving the representation invariants:
     ///
@@ -346,6 +375,45 @@ mod tests {
                 .any(|f| f.invariant == "csr.ids-in-range"),
             "{rep}"
         );
+    }
+
+    #[test]
+    fn report_meta_audit_accepts_and_detects_corruption() {
+        let mut rep = AuditReport::new("subject");
+        rep.check("x.holds", true, || unreachable!());
+        rep.check("x.fails", false, || "boom".into());
+        assert!(rep.audit().is_ok(), "a well-formed report passes");
+
+        // Hand-assembled reports that violate the meta-invariants.
+        let nameless = AuditReport::new("");
+        assert!(nameless
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "report.has-subject"));
+
+        let mut overfull = AuditReport::new("s");
+        overfull.findings.push(Finding {
+            invariant: "x.phantom",
+            detail: "finding without a check".into(),
+        });
+        assert!(overfull
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "report.findings-bounded"));
+
+        let mut unnamed = AuditReport::new("s");
+        unnamed.checks = 1;
+        unnamed.findings.push(Finding {
+            invariant: "",
+            detail: "anonymous".into(),
+        });
+        assert!(unnamed
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "report.findings-named"));
     }
 
     #[test]

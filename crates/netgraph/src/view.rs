@@ -25,7 +25,7 @@
 //! a `(vertex, phase)` product graph of `2n` states.
 
 use crate::{Graph, NodeId, NodeSet};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A graph-shaped adjacency structure the traversal engine can walk.
 ///
@@ -202,7 +202,7 @@ impl GraphView for InducedView<'_> {
 pub struct MaskedView<'a, V> {
     inner: V,
     failed_nodes: Option<&'a NodeSet>,
-    failed_edges: Option<&'a HashSet<(u32, u32)>>,
+    failed_edges: Option<&'a BTreeSet<(u32, u32)>>,
 }
 
 impl<'a, V: GraphView> MaskedView<'a, V> {
@@ -210,7 +210,7 @@ impl<'a, V: GraphView> MaskedView<'a, V> {
     pub fn new(
         inner: V,
         failed_nodes: Option<&'a NodeSet>,
-        failed_edges: Option<&'a HashSet<(u32, u32)>>,
+        failed_edges: Option<&'a BTreeSet<(u32, u32)>>,
     ) -> Self {
         MaskedView {
             inner,
@@ -220,7 +220,7 @@ impl<'a, V: GraphView> MaskedView<'a, V> {
     }
 
     /// Mask `inner` by removed undirected edges only.
-    pub fn without_edges(inner: V, failed_edges: &'a HashSet<(u32, u32)>) -> Self {
+    pub fn without_edges(inner: V, failed_edges: &'a BTreeSet<(u32, u32)>) -> Self {
         MaskedView::new(inner, None, Some(failed_edges))
     }
 
@@ -324,7 +324,7 @@ mod tests {
         let g = diamond();
         let mut failed_nodes = NodeSet::new(4);
         failed_nodes.insert(NodeId(2));
-        let mut failed_edges = HashSet::new();
+        let mut failed_edges = BTreeSet::new();
         failed_edges.insert(crate::undirected_key(NodeId(0), NodeId(1)));
         let view = MaskedView::new(FullView::new(&g), Some(&failed_nodes), Some(&failed_edges));
         // 0: edge to 1 failed, neighbor 3 fine.
@@ -340,7 +340,7 @@ mod tests {
     fn masked_view_composes_with_dominated() {
         let g = diamond();
         let brokers = NodeSet::full(4);
-        let mut failed_edges = HashSet::new();
+        let mut failed_edges = BTreeSet::new();
         failed_edges.insert(crate::undirected_key(NodeId(1), NodeId(2)));
         let view = MaskedView::without_edges(DominatedView::new(&g, &brokers), &failed_edges);
         assert_eq!(collect(&view, NodeId(1)), vec![NodeId(0)]);

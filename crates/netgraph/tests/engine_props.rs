@@ -11,7 +11,7 @@ use netgraph::{
     InducedView, MaskedView, NodeId, NodeSet, TraversalArena,
 };
 use proptest::prelude::*;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, HashSet, VecDeque};
 
 fn arb_edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     proptest::collection::vec((0..n, 0..n), 0..max_edges)
@@ -118,7 +118,7 @@ proptest! {
         let g = build(20, &edges);
         let b = node_set(20, &brokers);
         let failed_nodes = node_set(20, &dead);
-        let failed_edges: HashSet<(u32, u32)> = cut
+        let failed_edges: BTreeSet<(u32, u32)> = cut
             .iter()
             .map(|&(x, y)| undirected_key(NodeId(x), NodeId(y)))
             .collect();

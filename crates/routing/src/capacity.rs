@@ -16,13 +16,13 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use topology::{Internet, Tier};
 
 /// Per-edge capacities derived from a topology and seed.
 #[derive(Debug, Clone)]
 pub struct CapacityModel {
-    capacity: HashMap<(u32, u32), f64>,
+    capacity: BTreeMap<(u32, u32), f64>,
 }
 
 impl CapacityModel {
@@ -31,7 +31,7 @@ impl CapacityModel {
     /// jitter.
     pub fn sample(net: &Internet, seed: u64) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut capacity = HashMap::with_capacity(net.relationships().len());
+        let mut capacity = BTreeMap::new();
         for &(a, b, _) in net.relationships() {
             let base = match std::cmp::min(net.tier(a), net.tier(b)) {
                 Tier::One => 100.0,
@@ -103,7 +103,7 @@ pub fn admit_demands(
     capacity: &CapacityModel,
     demands: &[Demand],
 ) -> AdmissionReport {
-    let mut residual: HashMap<(u32, u32), f64> = capacity.capacity.clone();
+    let mut residual: BTreeMap<(u32, u32), f64> = capacity.capacity.clone();
     let mut admitted = Vec::with_capacity(demands.len());
     let mut carried = 0.0;
     let mut requested = 0.0;
@@ -116,7 +116,7 @@ pub fn admit_demands(
             admitted.push(false);
             continue;
         }
-        let fits = |path: &[NodeId], residual: &HashMap<(u32, u32), f64>| {
+        let fits = |path: &[NodeId], residual: &BTreeMap<(u32, u32), f64>| {
             path.windows(2)
                 .all(|w| residual.get(&key(w[0], w[1])).copied().unwrap_or(0.0) >= d.bandwidth)
         };
@@ -129,7 +129,7 @@ pub fn admit_demands(
             // demands; the full-map scan runs only on the retry path
             // (first-choice failures), which congestion keeps rare until
             // the network is already saturated.
-            let saturated: HashSet<(u32, u32)> = residual
+            let saturated: BTreeSet<(u32, u32)> = residual
                 .iter()
                 .filter(|&(_, &c)| c < d.bandwidth)
                 .map(|(&e, _)| e)

@@ -21,7 +21,7 @@ use netgraph::{
     GraphView, MaskedView, NodeId, NodeSet,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Outcome of replaying one session under a schedule.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -192,7 +192,7 @@ fn plan_under(
 ) -> Option<(StitchedPath, Option<StitchedPath>)> {
     let view = FaultView::new(DominatedView::new(g, alive), state);
     let primary = shortest_on(view, alive, src, dst)?;
-    let forbidden: HashSet<(u32, u32)> = primary
+    let forbidden: BTreeSet<(u32, u32)> = primary
         .path
         .windows(2)
         .map(|w| undirected_key(w[0], w[1]))

@@ -88,7 +88,7 @@ pub fn directional_connectivity_threaded(
         );
         (reach.len() - 1) as f64 / (n - 1) as f64
     });
-    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    let mean = par::sum_f64(&fractions) / fractions.len() as f64;
     let std_error = sample_std_error(&fractions, n);
     DirectionalReport {
         fraction: mean,

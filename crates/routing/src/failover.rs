@@ -9,7 +9,7 @@
 use crate::stitch::{stitch_path, StitchedPath};
 use netgraph::{with_arena, DominatedView, Graph, MaskedView, NodeId, NodeSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A primary/backup dominating path pair.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,7 +40,7 @@ pub fn failover_plan(
     dst: NodeId,
 ) -> Option<FailoverPlan> {
     let primary = stitch_path(g, brokers, src, dst)?;
-    let forbidden: HashSet<(u32, u32)> = primary
+    let forbidden: BTreeSet<(u32, u32)> = primary
         .path
         .windows(2)
         .map(|w| edge_key(w[0], w[1]))
@@ -58,7 +58,7 @@ pub fn dominated_path_avoiding(
     brokers: &NodeSet,
     src: NodeId,
     dst: NodeId,
-    forbidden: &HashSet<(u32, u32)>,
+    forbidden: &BTreeSet<(u32, u32)>,
 ) -> Option<StitchedPath> {
     if src == dst {
         return stitch_path(g, brokers, src, dst);
@@ -129,7 +129,7 @@ mod tests {
         assert_eq!(plan.primary.hops(), 2);
         assert_eq!(backup.hops(), 2);
         // Edge-disjointness.
-        let pe: HashSet<_> = plan
+        let pe: BTreeSet<_> = plan
             .primary
             .path
             .windows(2)

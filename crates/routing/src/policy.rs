@@ -150,6 +150,57 @@ fn classify(net: &Internet, _a: NodeId, b: NodeId, rel: Relationship) -> (EdgeCl
     }
 }
 
+impl netgraph::Validate for PolicyGraph {
+    /// Re-derive the directed-adjacency invariants:
+    ///
+    /// 1. every neighbor id is in range;
+    /// 2. each out-edge list is strictly ascending by neighbor (the
+    ///    binary search in [`PolicyGraph::class`] depends on it);
+    /// 3. adjacency is symmetric as a *directed pair*: `u → v` exists
+    ///    iff `v → u` does (classes may differ — that is the point);
+    /// 4. the directed degree sum is twice the cached edge count.
+    fn audit(&self) -> netgraph::AuditReport {
+        let mut rep = netgraph::AuditReport::new("routing::PolicyGraph");
+        let n = self.adj.len();
+        let in_range = self
+            .adj
+            .iter()
+            .all(|list| list.iter().all(|&(v, _)| v.index() < n));
+        rep.check("policy.ids-in-range", in_range, || {
+            format!("a neighbor id is >= {n}")
+        });
+        if !in_range {
+            return rep;
+        }
+        let sorted = self
+            .adj
+            .iter()
+            .all(|list| list.windows(2).all(|w| w[0].0 < w[1].0));
+        rep.check("policy.lists-sorted", sorted, || {
+            "an out-edge list is not strictly ascending".into()
+        });
+        let mut asymmetric = 0usize;
+        for (u, list) in self.adj.iter().enumerate() {
+            for &(v, _) in list {
+                if self.adj[v.index()]
+                    .binary_search_by_key(&NodeId(u as u32), |&(w, _)| w)
+                    .is_err()
+                {
+                    asymmetric += 1;
+                }
+            }
+        }
+        rep.check("policy.symmetric", asymmetric == 0, || {
+            format!("{asymmetric} directed edge(s) without a reverse edge")
+        });
+        let degree_sum: usize = self.adj.iter().map(Vec::len).sum();
+        rep.check("policy.degree-sum", degree_sum == 2 * self.edges, || {
+            format!("degree sum {degree_sum}, expected {}", 2 * self.edges)
+        });
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +289,46 @@ mod tests {
                 before.out_edges(NodeId(u as u32))
             );
         }
+    }
+
+    #[test]
+    fn audit_accepts_and_detects_corruption() {
+        use netgraph::Validate;
+        let net = tiny();
+        let pg = PolicyGraph::new(&net);
+        assert!(pg.audit().is_ok());
+
+        // A dangling directed edge: u -> v with no v -> u.
+        let mut bad = pg.clone();
+        let last = NodeId(bad.adj.len() as u32 - 1);
+        bad.adj[0].push((last, EdgeClass::Peer));
+        let rep = bad.audit();
+        assert!(
+            rep.findings.iter().any(|f| {
+                f.invariant == "policy.symmetric"
+                    || f.invariant == "policy.lists-sorted"
+                    || f.invariant == "policy.degree-sum"
+            }),
+            "{rep}"
+        );
+
+        // A neighbor id outside the vertex range short-circuits safely.
+        let mut bad = pg.clone();
+        bad.adj[0].push((NodeId(u32::MAX), EdgeClass::Peer));
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "policy.ids-in-range"));
+
+        // Cached edge count out of sync with the adjacency.
+        let mut bad = pg;
+        bad.edges += 1;
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "policy.degree-sum"));
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub struct LatencyModel {
     /// `Internet::relationships()` order.
     latencies: Vec<f64>,
     /// Edge key -> index in `latencies` (keys are `(min, max)` pairs).
-    index: std::collections::HashMap<(u32, u32), u32>,
+    index: std::collections::BTreeMap<(u32, u32), u32>,
 }
 
 impl LatencyModel {
@@ -43,7 +43,7 @@ impl LatencyModel {
     fn sample_inner(net: &Internet, geo: Option<&topology::GeoModel>, seed: u64) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut latencies = Vec::with_capacity(net.relationships().len());
-        let mut index = std::collections::HashMap::with_capacity(net.relationships().len());
+        let mut index = std::collections::BTreeMap::new();
         for (i, &(a, b, _)) in net.relationships().iter().enumerate() {
             let mut base = (tier_base(net.tier(a)) + tier_base(net.tier(b))) / 2.0;
             if let Some(geo) = geo {

@@ -31,7 +31,7 @@ impl StitchedPath {
         if self.path.len() <= 2 {
             return 0;
         }
-        let brokers: std::collections::HashSet<usize> =
+        let brokers: std::collections::BTreeSet<usize> =
             self.broker_positions.iter().copied().collect();
         (1..self.path.len() - 1)
             .filter(|i| !brokers.contains(i))

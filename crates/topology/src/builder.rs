@@ -111,6 +111,47 @@ impl TopologyBuilder {
     }
 }
 
+impl crate::validate::Validate for TopologyBuilder {
+    /// Re-derive the builder's insert-time contract:
+    ///
+    /// 1. per-vertex arrays (kinds, names) are index-aligned;
+    /// 2. every relationship references vertices added so far;
+    /// 3. each relationship respects the taxonomy — transit and peering
+    ///    connect ASes, memberships link exactly one AS to one IXP.
+    fn audit(&self) -> crate::validate::AuditReport {
+        let mut rep = crate::validate::AuditReport::new("topology::TopologyBuilder");
+        let n = self.kinds.len();
+        rep.check("builder.arrays-aligned", self.names.len() == n, || {
+            format!("{n} kinds, {} names", self.names.len())
+        });
+        let out_of_range = self
+            .rels
+            .iter()
+            .filter(|&&(a, b, _)| a.index() >= n || b.index() >= n)
+            .count();
+        rep.check("builder.rels-in-range", out_of_range == 0, || {
+            format!("{out_of_range} relationship(s) reference unknown vertices")
+        });
+        if out_of_range > 0 {
+            return rep;
+        }
+        let taxonomy_ok = self.rels.iter().all(|&(a, b, rel)| {
+            let (ka, kb) = (self.kinds[a.index()], self.kinds[b.index()]);
+            match rel {
+                Relationship::CustomerOfB | Relationship::ProviderOfB | Relationship::Peer => {
+                    ka.is_as() && kb.is_as()
+                }
+                // This builder's `member` always orders (AS, IXP).
+                Relationship::IxpMembership => ka.is_as() && kb == NodeKind::Ixp,
+            }
+        });
+        rep.check("builder.taxonomy-respected", taxonomy_ok, || {
+            "a relationship violates the AS/IXP taxonomy".into()
+        });
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +169,49 @@ mod tests {
         assert_eq!(net.relationship(p, c), Some(Relationship::ProviderOfB));
         assert_eq!(net.relationship(p, x), Some(Relationship::IxpMembership));
         assert_eq!(net.name(p), "P");
+    }
+
+    #[test]
+    fn audit_accepts_and_detects_corruption() {
+        use crate::validate::Validate;
+        let mut b = TopologyBuilder::new();
+        let p = b.add("P", NodeKind::Transit);
+        let c = b.add("C", NodeKind::Access);
+        let x = b.add("X", NodeKind::Ixp);
+        b.customer_provider(c, p).member(p, x);
+        assert!(b.audit().is_ok());
+        assert!(TopologyBuilder::new().audit().is_ok());
+
+        // Misaligned per-vertex arrays.
+        let mut bad = b.clone();
+        bad.names.pop();
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "builder.arrays-aligned"));
+
+        // A relationship referencing a vertex never added.
+        let mut bad = b.clone();
+        bad.rels.push((NodeId(0), NodeId(9), Relationship::Peer));
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "builder.rels-in-range"));
+
+        // Taxonomy violations injected past the asserting methods:
+        // peering with an IXP, and a membership between two ASes.
+        let mut bad = b.clone();
+        bad.rels.push((p, x, Relationship::Peer));
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "builder.taxonomy-respected"));
+        let mut bad = b;
+        bad.rels.push((p, c, Relationship::IxpMembership));
+        assert!(!bad.audit().is_ok());
     }
 
     #[test]

@@ -153,7 +153,9 @@ impl InternetConfig {
     /// [`InternetConfig::validate`]).
     pub fn generate(&self, seed: u64) -> Internet {
         let () = netgraph::counter!("topology.generations");
-        self.validate().expect("invalid InternetConfig");
+        if let Err(e) = self.validate() {
+            panic!("invalid InternetConfig: {e}");
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let net = Generator::new(self, &mut rng).run();
         // Full topology invariant audit at the generation boundary

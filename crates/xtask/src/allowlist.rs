@@ -141,7 +141,7 @@ mod tests {
 
     #[test]
     fn malformed_lines_skipped() {
-        let a = Allowlist::parse("R1 only-two|fields\nR9|x.rs|bad rule\njust text\n");
+        let a = Allowlist::parse("R1 only-two|fields\nR99|x.rs|bad rule\njust text\n");
         assert_eq!(a.len(), 0);
         assert!(a.is_empty());
         assert_eq!(a.entry_text(5), "");

@@ -14,21 +14,33 @@
 //! | R6   | library code of the product crates | no ad-hoc `VecDeque` BFS — traversal goes through `netgraph::traverse` (deliberately independent validators are allowlisted) |
 //! | R7   | library code of the product crates | no hand-rolled word-manipulation loops (`count_ones` / `trailing_zeros` / `leading_zeros`) outside `netgraph/src/{msbfs,nodeset,obs}.rs` — consumers use `LaneSet` / `Wavefront` / `NodeSet` |
 //! | R8   | library code of the product crates | no `std::time::Instant` outside `netgraph/src/obs.rs` — timing goes through the `span!` observability macro |
+//! | R9   | library code of the product crates | no `HashMap`/`HashSet` iteration — `BTreeMap`/`BTreeSet` or sorted keys, so no RandomState order reaches a result |
+//! | R10  | library code of the product crates | float reductions in threaded paths confined to the blessed chunk-ordered reducers (`par::map_reduce`, `par::sum_f64`) |
+//! | R11  | library code of the product crates | `Ordering::Relaxed` confined to `netgraph/src/obs.rs` — everything else uses `SeqCst` |
+//! | R12  | workspace symbol table | every pub constructor-bearing product type carries an `impl Validate` certificate |
 //!
 //! Existing violations are burned down, not bulk-suppressed: each one
 //! needs an entry in `crates/xtask/lint.allow` (`rule|path|substring`),
 //! and the test suite asserts the entry count never grows.
 //!
-//! The scanner is a line/token pass, not a full parser: it blanks string
-//! literals and comments before matching code rules (so `"unwrap()"` in a
-//! message is fine), tracks `#[cfg(test)]` brace regions, and exempts
-//! `src/bin`, `tests/`, `benches/`, and `examples/` trees from the
-//! library-only rules.
+//! The pipeline is a token lexer ([`lexer`]) feeding a brace-aware item
+//! tree ([`itemtree`]: `#[cfg(test)]`/`#[cfg(feature = "obs")]` regions,
+//! fn bodies, type declarations, impl blocks) and a cross-file symbol
+//! table ([`symbols`]). It is still not rustc: no macro expansion, no
+//! type inference — rules are written so the approximations over-report
+//! on patterns we ban anyway rather than under-report on ones we allow.
+//! Reports render as text, stable JSON (`--json`), or SARIF 2.1.0
+//! (`--sarif PATH`), checked by the dependency-free [`json`] parser.
 #![forbid(unsafe_code)]
 
 pub mod allowlist;
+pub mod itemtree;
+pub mod json;
+pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod scanner;
+pub mod symbols;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -146,7 +158,7 @@ impl netgraph::Validate for LintReport {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => vec!['\\', '"'],
@@ -225,6 +237,13 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
 
 /// [`lint_workspace`] with an explicit allowlist (test hook).
 ///
+/// Two phases: a per-file pass (R1-R11) that also folds every file's
+/// item tree into the workspace symbol table, then the symbol-table
+/// pass (R12: pub constructor-bearing product types without a
+/// `Validate` impl). Violations are reported in (path, line, rule)
+/// order so `--json` and SARIF output are stable across platforms and
+/// directory-walk order.
+///
 /// # Errors
 ///
 /// I/O failures while reading the tree.
@@ -235,23 +254,51 @@ pub fn lint_workspace_with(root: &Path, allowlist: &Allowlist) -> std::io::Resul
         ..LintReport::default()
     };
     let mut matched_allows = vec![false; allowlist.len()];
+    let mut table = symbols::SymbolTable::default();
+    let mut route =
+        |report: &mut LintReport, violation: Violation| match allowlist.matches(&violation) {
+            Some(idx) => {
+                matched_allows[idx] = true;
+                report.allowed.push(violation);
+            }
+            None => report.violations.push(violation),
+        };
     for rel in &files {
         let text = std::fs::read_to_string(root.join(rel))?;
-        for violation in rules::check_file(rel, &text) {
-            match allowlist.matches(&violation) {
-                Some(idx) => {
-                    matched_allows[idx] = true;
-                    report.allowed.push(violation);
-                }
-                None => report.violations.push(violation),
-            }
+        let analysis = rules::analyze_file(rel, &text);
+        let lines: Vec<&str> = text.lines().collect();
+        table.absorb(
+            rel,
+            &analysis.tree,
+            &lines,
+            rules::classify(rel) == FileClass::ProductLib,
+        );
+        for violation in analysis.violations {
+            route(&mut report, violation);
         }
+    }
+    for site in table.unvalidated_ctor_types() {
+        route(
+            &mut report,
+            Violation {
+                rule: Rule::ValidateCoverage,
+                path: site.path.clone(),
+                line: site.line as usize,
+                excerpt: site.excerpt.clone(),
+            },
+        );
     }
     for (idx, hit) in matched_allows.iter().enumerate() {
         if !hit {
             report.stale_allows.push(allowlist.entry_text(idx));
         }
     }
+    let sort_key = |v: &Violation| {
+        let rule_idx = Rule::ALL.iter().position(|r| *r == v.rule).unwrap_or(0);
+        (v.path.clone(), v.line, rule_idx)
+    };
+    report.violations.sort_by_key(sort_key);
+    report.allowed.sort_by_key(sort_key);
     netgraph::validate::debug_validate(&report);
     Ok(report)
 }

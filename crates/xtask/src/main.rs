@@ -1,30 +1,53 @@
-//! CLI entry point: `cargo run -p xtask -- lint [--json]`.
+//! CLI entry point: `cargo run -p xtask -- lint [--json] [--sarif PATH]`.
 #![forbid(unsafe_code)]
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use xtask::{find_workspace_root, lint_workspace};
+use xtask::rules::Rule;
+use xtask::{find_workspace_root, lint_workspace, sarif};
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- <command>
 
 commands:
-  lint [--json] [--root <dir>]   run the repo-specific static analysis (R1-R5)
+  lint [--json] [--sarif PATH] [--root <dir>]
+        run the repo-specific static analysis (R1-R12);
+        --json prints the stable JSON report, --sarif also writes a
+        SARIF 2.1.0 log to PATH
+  lint --explain RN
+        print the rationale and fix guidance for one rule (R1..R12)
+  sarif-check <path>
+        verify that <path> is a well-formed SARIF 2.1.0 log
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
+            if let Some(i) = args.iter().position(|a| a == "--explain") {
+                return run_explain(args.get(i + 1).map(String::as_str));
+            }
             let json = args.iter().any(|a| a == "--json");
+            let sarif_path = args
+                .iter()
+                .position(|a| a == "--sarif")
+                .and_then(|i| args.get(i + 1))
+                .map(std::path::PathBuf::from);
             let root = args
                 .iter()
                 .position(|a| a == "--root")
                 .and_then(|i| args.get(i + 1))
                 .map(std::path::PathBuf::from);
-            run_lint(json, root)
+            run_lint(json, sarif_path, root)
         }
+        Some("sarif-check") => match args.get(1) {
+            Some(path) => run_sarif_check(Path::new(path)),
+            None => {
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         _ => {
             eprint!("{USAGE}");
             ExitCode::from(2)
@@ -32,7 +55,51 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_lint(json: bool, root: Option<std::path::PathBuf>) -> ExitCode {
+fn run_explain(rule: Option<&str>) -> ExitCode {
+    match rule.and_then(Rule::from_id) {
+        Some(rule) => {
+            println!("{}", rule.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "xtask: --explain needs a rule id ({} .. {})",
+                Rule::ALL[0].id(),
+                Rule::ALL[Rule::ALL.len() - 1].id()
+            );
+            for r in Rule::ALL {
+                eprintln!("  {:<4} {}", r.id(), r.describe());
+            }
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_sarif_check(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match sarif::check_sarif(&text) {
+        Ok(n) => {
+            println!("{}: well-formed SARIF 2.1.0, {n} result(s)", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask: {} is not valid SARIF: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint(
+    json: bool,
+    sarif_path: Option<std::path::PathBuf>,
+    root: Option<std::path::PathBuf>,
+) -> ExitCode {
     let root = match root {
         Some(r) => r,
         None => {
@@ -56,6 +123,12 @@ fn run_lint(json: bool, root: Option<std::path::PathBuf>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = sarif_path {
+        if let Err(e) = std::fs::write(&path, sarif::to_sarif(&report)) {
+            eprintln!("xtask: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if json {
         print!("{}", report.to_json());
     } else {

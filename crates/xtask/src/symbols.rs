@@ -1,0 +1,142 @@
+//! Cross-file symbol table for the workspace-level rules.
+//!
+//! Accumulated over every product-library file during the per-file pass,
+//! then queried once all files are in: which `pub` owned types exist,
+//! which have a public `fn new` constructor somewhere in an inherent
+//! impl, and which have an `impl Validate for T` anywhere in the
+//! workspace. Matching is by bare type name — the workspace has no
+//! cross-crate name collisions among pub types, and a name-based join
+//! can only under-report (a collision where one of the pair is covered),
+//! never invent a violation for a covered type.
+
+use std::collections::BTreeSet;
+
+use crate::itemtree::ItemTree;
+
+/// One `pub` owned (no lifetime params) type declaration site.
+#[derive(Debug, Clone)]
+pub struct TypeSite {
+    /// Type name.
+    pub name: String,
+    /// Workspace-relative path of the declaring file.
+    pub path: String,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// The declaring source line, trimmed.
+    pub excerpt: String,
+}
+
+/// Workspace-wide symbol table, built incrementally.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// `pub` owned type declarations in product library code.
+    pub pub_types: Vec<TypeSite>,
+    /// Names with a bare-`pub` `fn new` in an inherent impl.
+    pub ctor_names: BTreeSet<String>,
+    /// Names with an `impl Validate for T` anywhere (any file class —
+    /// a certificate is a certificate wherever it lives).
+    pub validated: BTreeSet<String>,
+}
+
+impl SymbolTable {
+    /// Fold one file's item tree into the table. `is_product` controls
+    /// whether declarations and constructors in `path` create R12
+    /// obligations (true for product library files only); `Validate`
+    /// impls are recorded from any file class — a certificate is a
+    /// certificate wherever it lives.
+    pub fn absorb(&mut self, path: &str, tree: &ItemTree, lines: &[&str], is_product: bool) {
+        if is_product {
+            for t in &tree.types {
+                if t.is_pub && !t.has_lifetime && !tree.line_in_test(t.line) {
+                    self.pub_types.push(TypeSite {
+                        name: t.name.clone(),
+                        path: path.to_string(),
+                        line: t.line,
+                        excerpt: lines
+                            .get(t.line as usize - 1)
+                            .copied()
+                            .unwrap_or_default()
+                            .trim()
+                            .chars()
+                            .take(120)
+                            .collect(),
+                    });
+                }
+            }
+        }
+        for b in &tree.impls {
+            if tree.line_in_test(b.line) {
+                continue;
+            }
+            match b.trait_name.as_deref() {
+                None if b.has_pub_fn_new && is_product => {
+                    self.ctor_names.insert(b.type_name.clone());
+                }
+                Some("Validate") => {
+                    self.validated.insert(b.type_name.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// All `pub` constructor-bearing types lacking a `Validate` impl,
+    /// sorted by (path, line).
+    pub fn unvalidated_ctor_types(&self) -> Vec<&TypeSite> {
+        let mut out: Vec<&TypeSite> = self
+            .pub_types
+            .iter()
+            .filter(|t| self.ctor_names.contains(&t.name) && !self.validated.contains(&t.name))
+            .collect();
+        out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemtree::build;
+    use crate::lexer::lex;
+
+    #[test]
+    fn ctor_without_validate_is_reported() {
+        let mut table = SymbolTable::default();
+        let a = build(&lex(
+            "pub struct Covered;\nimpl Covered { pub fn new() -> Self { Covered } }\n\
+             pub struct Naked;\nimpl Naked { pub fn new() -> Self { Naked } }\n",
+        ));
+        table.absorb("crates/x/src/a.rs", &a, &[], true);
+        let b = build(&lex(
+            "impl Validate for Covered { fn audit(&self) -> AuditReport { todo() } }\n",
+        ));
+        table.absorb("crates/x/src/b.rs", &b, &[], true);
+        let missing: Vec<&str> = table
+            .unvalidated_ctor_types()
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        assert_eq!(missing, vec!["Naked"]);
+    }
+
+    #[test]
+    fn exemptions_views_private_and_ctorless() {
+        let mut table = SymbolTable::default();
+        let tree = build(&lex("pub struct View<'a> { x: &'a u32 }\n\
+             impl<'a> View<'a> { pub fn new(x: &'a u32) -> Self { View { x } } }\n\
+             struct Private;\nimpl Private { pub fn new() -> Self { Private } }\n\
+             pub struct NoCtor { pub x: u32 }\n"));
+        table.absorb("crates/x/src/lib.rs", &tree, &[], true);
+        assert!(table.unvalidated_ctor_types().is_empty());
+    }
+
+    #[test]
+    fn cfg_test_types_ignored() {
+        let mut table = SymbolTable::default();
+        let tree = build(&lex(
+            "#[cfg(test)]\nmod tests {\n    pub struct Fixture;\n    impl Fixture { pub fn new() -> Self { Fixture } }\n}\n",
+        ));
+        table.absorb("crates/x/src/lib.rs", &tree, &[], true);
+        assert!(table.unvalidated_ctor_types().is_empty());
+    }
+}
