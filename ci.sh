@@ -86,13 +86,27 @@ run cargo test --offline -q -p netgraph --test fault_props
 run cargo test --offline -q -p netgraph --test fault_props --features obs
 run cargo test --offline -q -p brokerset --test determinism --features obs
 
+# Churn gate: delta application must equal an explicit rebuild (view and
+# CSR), and the incrementally maintained broker set must match a full
+# recompute on every prefix of arbitrary delta sequences (exactly under
+# forced rebuilds, within the pinned coverage-gap bound under forced
+# patching). Both feature states: the evolve/incremental obs counters
+# must never perturb maintenance decisions.
+run cargo test --offline -q -p netgraph --test delta_props
+run cargo test --offline -q -p netgraph --test delta_props --features obs
+run cargo test --offline -q -p brokerset --test incremental_diff
+run cargo test --offline -q -p brokerset --test incremental_diff --features obs
+
 # Observability gates: the obs contract suite in both feature states
 # (macro unit-expansion, bucket math, thread-count-invariant snapshots),
-# the economics axioms, and the golden result snapshots for table3/fig2a.
+# the economics axioms, and the golden result snapshots (table3, fig2a,
+# ext_chaos, ext_evolve) — the goldens again under obs, since recorded
+# results must be bit-identical across instrumentation states.
 run cargo test --offline -q -p netgraph --test obs
 run cargo test --offline -q -p netgraph --test obs --features obs
 run cargo test --offline -q -p economics --test axioms
 run cargo test --offline -q -p bench --test bins golden
+run cargo test --offline -q -p bench --test bins golden --features obs
 
 run cargo test --offline -q --workspace
 

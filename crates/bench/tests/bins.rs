@@ -100,6 +100,11 @@ smoke!(
     env!("CARGO_BIN_EXE_ext_chaos"),
     "certificate:"
 );
+smoke!(
+    ext_evolve_runs,
+    env!("CARGO_BIN_EXE_ext_evolve"),
+    "maintenance_checksum:"
+);
 
 #[test]
 fn fig2a_runs_with_reduced_iterations() {
@@ -239,6 +244,17 @@ fn ext_chaos_matches_golden_snapshot() {
     check_golden(
         env!("CARGO_BIN_EXE_ext_chaos"),
         "ext_chaos",
+        &["tiny", "7", "--threads", "2"],
+    );
+}
+
+#[test]
+fn ext_evolve_matches_golden_snapshot() {
+    // The per-epoch ledger (coverage, gaps, swaps, checksum) must be
+    // bit-stable; --threads 2 pins thread-count invariance on top.
+    check_golden(
+        env!("CARGO_BIN_EXE_ext_evolve"),
+        "ext_evolve",
         &["tiny", "7", "--threads", "2"],
     );
 }

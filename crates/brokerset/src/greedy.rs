@@ -12,8 +12,16 @@
 //!   equivalence property test.
 //!
 //! Both return identical selections (ties broken by ascending node id).
+//!
+//! The CELF drain loop itself lives in [`crate::incremental`]
+//! ([`crate::incremental::celf_fill`]): the one-shot greedy here seeds a
+//! fresh heap of `deg + 1` upper bounds and drains it once, while the
+//! epoch-driven [`crate::BrokerMaintainer`] re-seeds and re-drains the
+//! same loop across topology deltas. Sharing the loop keeps the two
+//! selection paths bit-identical by construction.
 
 use crate::coverage::CoverageState;
+use crate::incremental::{celf_fill, CoverageIndex};
 use crate::problem::BrokerSelection;
 use netgraph::{Graph, NodeId};
 use std::cmp::Reverse;
@@ -26,35 +34,13 @@ use std::collections::BinaryHeap;
 /// `f(B) ≥ (1 − 1/e) · f(OPT_k)` by Nemhauser–Wolsey–Fisher.
 pub fn greedy_mcb(g: &Graph, k: usize) -> BrokerSelection {
     let n = g.node_count();
-    let mut cov = CoverageState::new(g);
+    let mut idx = CoverageIndex::new(n);
     let mut order = Vec::with_capacity(k.min(n));
     // Heap of (cached_gain, Reverse(id)): highest gain first, lowest id on
     // ties — matching the naive argmax scan order.
     let mut heap: BinaryHeap<(usize, Reverse<NodeId>)> =
         g.nodes().map(|v| (g.degree(v) + 1, Reverse(v))).collect();
-
-    while order.len() < k && cov.covered_count() < n {
-        let Some((cached, Reverse(v))) = heap.pop() else {
-            break;
-        };
-        if cov.brokers().contains(v) {
-            continue;
-        }
-        let fresh = cov.gain(g, v);
-        debug_assert!(fresh <= cached, "submodularity violated");
-        let still_best = heap
-            .peek()
-            .is_none_or(|&(next, Reverse(u))| fresh > next || (fresh == next && v < u));
-        if still_best {
-            if fresh == 0 {
-                break; // nothing left to cover
-            }
-            cov.add(g, v);
-            order.push(v);
-        } else {
-            heap.push((fresh, Reverse(v)));
-        }
-    }
+    celf_fill(g, &mut idx, k, &mut heap, &mut order, true);
     BrokerSelection::new("greedy-mcb", n, order)
 }
 

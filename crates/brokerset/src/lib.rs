@@ -58,6 +58,7 @@ pub mod connectivity;
 pub mod coverage;
 pub mod exact;
 pub mod greedy;
+pub mod incremental;
 pub mod lengthaware;
 pub mod localsearch;
 pub mod maxsg;
@@ -84,6 +85,10 @@ pub use connectivity::{
 pub use coverage::CoverageState;
 pub use exact::{solve_mcb_exact, solve_mcbg_exact, solve_pds_exact};
 pub use greedy::{greedy_mcb, greedy_mcb_naive};
+pub use incremental::{
+    BrokerMaintainer, CoverageIndex, EpochReport, MaintainConfig, MaintenanceCertificate,
+    StabilityLedger,
+};
 pub use lengthaware::{select_with_length_constraint, LengthConstrainedSelection};
 pub use localsearch::{local_search_coverage, LocalSearchResult};
 pub use maxsg::max_subgraph_greedy;

@@ -1,0 +1,535 @@
+//! Epochal topology deltas: serializable graph edits and their
+//! application.
+//!
+//! The CSR [`Graph`] is immutable by design — every evaluation in the
+//! workspace assumes a frozen adjacency. Topology *evolution* (IXP
+//! births, new memberships, AS births and deaths) therefore enters the
+//! engine as data: a [`GraphDelta`] is one epoch's worth of edits,
+//! normalized and serializable, and can be consumed two ways:
+//!
+//! - [`Graph::apply_delta`] — rebuild-with-diff. Produces a fresh CSR
+//!   graph with **stable vertex ids**: new vertices are appended after
+//!   the existing id range and removed vertices are tombstoned in place
+//!   (they keep their id but lose every incident edge), so broker sets,
+//!   fault schedules and per-node arrays indexed against the old graph
+//!   stay meaningful against the new one.
+//! - [`DeltaView`] — an overlay implementing [`GraphView`], for peeking
+//!   at the post-delta adjacency without paying the CSR rebuild. The
+//!   whole traversal machinery ([`crate::with_arena`],
+//!   [`crate::with_msbfs`], [`crate::par`]) runs over it unchanged, and
+//!   it composes with [`crate::FaultView`] exactly like the other views
+//!   — which is what lets churn and faults share one epoch timeline.
+//!
+//! Application order within a delta is fixed: grow the vertex set, add
+//! edges, remove edges, then remove vertices. An edge both added and
+//! removed in the same delta is therefore removed, and an edge added to
+//! a vertex removed in the same delta does not survive.
+
+use crate::graph::{undirected_key, Graph, GraphBuilder, NodeId};
+use crate::validate::{AuditReport, Validate};
+use crate::view::GraphView;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One epoch's worth of graph edits against a base graph with
+/// `base_nodes` vertices.
+///
+/// ```
+/// use netgraph::{graph::from_edges, GraphDelta, NodeId};
+///
+/// let g = from_edges(3, [(0, 1), (1, 2)].map(|(a, b)| (NodeId(a), NodeId(b))));
+/// let mut d = GraphDelta::new(3);
+/// let w = d.add_node();              // NodeId(3), appended after the range
+/// d.add_edge(NodeId(0), w);
+/// d.remove_edge(NodeId(1), NodeId(2));
+/// let g2 = g.apply_delta(&d);
+/// assert_eq!(g2.node_count(), 4);
+/// assert!(g2.has_edge(NodeId(0), NodeId(3)));
+/// assert!(!g2.has_edge(NodeId(1), NodeId(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphDelta {
+    /// Vertex count of the graph this delta applies to.
+    base_nodes: usize,
+    /// Fresh vertices appended after the base range
+    /// (`base_nodes .. base_nodes + new_nodes`).
+    new_nodes: usize,
+    /// Edges to add, keys normalized per [`undirected_key`].
+    added_edges: Vec<(u32, u32)>,
+    /// Edges to cut, keys normalized per [`undirected_key`].
+    removed_edges: Vec<(u32, u32)>,
+    /// Vertices tombstoned in place: the id survives, every incident
+    /// edge is dropped.
+    removed_nodes: Vec<NodeId>,
+}
+
+impl GraphDelta {
+    /// An empty delta against a graph with `base_nodes` vertices.
+    pub fn new(base_nodes: usize) -> Self {
+        GraphDelta {
+            base_nodes,
+            new_nodes: 0,
+            added_edges: Vec::new(),
+            removed_edges: Vec::new(),
+            removed_nodes: Vec::new(),
+        }
+    }
+
+    /// Vertex count of the graph this delta applies to.
+    pub fn base_nodes(&self) -> usize {
+        self.base_nodes
+    }
+
+    /// Vertex count after application (`base_nodes + new_nodes`; removed
+    /// vertices are tombstoned, never compacted away).
+    pub fn node_count_after(&self) -> usize {
+        self.base_nodes + self.new_nodes
+    }
+
+    /// Append a fresh vertex; returns its (stable) id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from(self.base_nodes + self.new_nodes);
+        self.new_nodes += 1;
+        id
+    }
+
+    /// Record an edge addition. Self-loops are ignored, matching
+    /// [`GraphBuilder::add_edge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is outside `0..node_count_after()`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            return;
+        }
+        self.check_range(u);
+        self.check_range(v);
+        self.added_edges.push(undirected_key(u, v));
+    }
+
+    /// Record an edge removal (a no-op at application time if the edge
+    /// does not exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is outside `0..node_count_after()`.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            return;
+        }
+        self.check_range(u);
+        self.check_range(v);
+        self.removed_edges.push(undirected_key(u, v));
+    }
+
+    /// Tombstone vertex `v`: it keeps its id but loses every incident
+    /// edge (present and added-this-delta alike).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside `0..node_count_after()`.
+    pub fn remove_node(&mut self, v: NodeId) {
+        self.check_range(v);
+        self.removed_nodes.push(v);
+    }
+
+    /// Edges added, normalized keys, insertion order.
+    pub fn added_edges(&self) -> &[(u32, u32)] {
+        &self.added_edges
+    }
+
+    /// Edges removed, normalized keys, insertion order.
+    pub fn removed_edges(&self) -> &[(u32, u32)] {
+        &self.removed_edges
+    }
+
+    /// Vertices tombstoned by this delta.
+    pub fn removed_nodes(&self) -> &[NodeId] {
+        &self.removed_nodes
+    }
+
+    /// Number of fresh vertices this delta appends.
+    pub fn new_node_count(&self) -> usize {
+        self.new_nodes
+    }
+
+    /// Whether the delta edits nothing.
+    pub fn is_empty(&self) -> bool {
+        self.new_nodes == 0
+            && self.added_edges.is_empty()
+            && self.removed_edges.is_empty()
+            && self.removed_nodes.is_empty()
+    }
+
+    /// Total edit operations recorded (node births count once each).
+    pub fn op_count(&self) -> usize {
+        self.new_nodes
+            + self.added_edges.len()
+            + self.removed_edges.len()
+            + self.removed_nodes.len()
+    }
+
+    fn check_range(&self, v: NodeId) {
+        assert!(
+            v.index() < self.node_count_after(),
+            "{v} outside 0..{} (base {} + {} new)",
+            self.node_count_after(),
+            self.base_nodes,
+            self.new_nodes
+        );
+    }
+}
+
+impl Validate for GraphDelta {
+    /// Re-derive the constructor contract on the stored edit lists: edge
+    /// keys strictly normalized (`a < b`, so no self-loops survive) and
+    /// every referenced vertex inside `0..node_count_after()`.
+    fn audit(&self) -> AuditReport {
+        let mut rep = AuditReport::new("netgraph::GraphDelta");
+        let n = self.node_count_after() as u32;
+        let keys_ok = |edges: &[(u32, u32)]| edges.iter().all(|&(a, b)| a < b && b < n);
+        rep.check(
+            "delta.added-keys-normalized",
+            keys_ok(&self.added_edges),
+            || "an added edge key is not strictly (min, max) in range".into(),
+        );
+        rep.check(
+            "delta.removed-keys-normalized",
+            keys_ok(&self.removed_edges),
+            || "a removed edge key is not strictly (min, max) in range".into(),
+        );
+        rep.check(
+            "delta.removed-nodes-in-range",
+            self.removed_nodes.iter().all(|&v| v.0 < n),
+            || "a tombstoned vertex is outside the post-delta range".into(),
+        );
+        rep
+    }
+}
+
+impl Graph {
+    /// Apply `delta`, producing a fresh CSR graph with stable vertex
+    /// ids: new vertices appended, removed vertices tombstoned in place
+    /// (id kept, adjacency emptied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.base_nodes()` disagrees with this graph's vertex
+    /// count.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Graph {
+        assert_eq!(
+            self.node_count(),
+            delta.base_nodes(),
+            "delta was built against a {}-vertex graph",
+            delta.base_nodes()
+        );
+        let n2 = delta.node_count_after();
+        let cut: BTreeSet<(u32, u32)> = delta.removed_edges.iter().copied().collect();
+        let mut dead = crate::NodeSet::new(n2);
+        for &v in &delta.removed_nodes {
+            dead.insert(v);
+        }
+        let keep = |u: NodeId, v: NodeId| {
+            !dead.contains(u) && !dead.contains(v) && !cut.contains(&undirected_key(u, v))
+        };
+        let mut b = GraphBuilder::with_capacity(n2, self.edge_count() + delta.added_edges.len());
+        for (u, v) in self.edges() {
+            if keep(u, v) {
+                b.add_edge(u, v);
+            }
+        }
+        for &(a, z) in &delta.added_edges {
+            let (u, v) = (NodeId(a), NodeId(z));
+            if keep(u, v) {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Overlay view of a base graph with a [`GraphDelta`] applied, without
+/// the CSR rebuild. Implements [`GraphView`], so the arena BFS, the
+/// 64-lane msbfs kernel and the parallel executor all traverse the
+/// post-delta topology unchanged — and a [`crate::FaultView`] can wrap
+/// it to run churn and faults on one timeline.
+///
+/// Neighbor enumeration order is deterministic: surviving base
+/// neighbors in CSR (ascending) order first, then surviving added
+/// neighbors in ascending order.
+#[derive(Debug, Clone)]
+pub struct DeltaView<'a> {
+    base: &'a Graph,
+    node_count: usize,
+    /// Added adjacency (both directions), ascending, deduplicated
+    /// against the base graph.
+    extra: BTreeMap<u32, Vec<NodeId>>,
+    removed_edges: BTreeSet<(u32, u32)>,
+    dead: crate::NodeSet,
+}
+
+impl<'a> DeltaView<'a> {
+    /// Overlay `delta` on `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.base_nodes()` disagrees with `base`.
+    pub fn new(base: &'a Graph, delta: &GraphDelta) -> Self {
+        assert_eq!(
+            base.node_count(),
+            delta.base_nodes(),
+            "delta was built against a {}-vertex graph",
+            delta.base_nodes()
+        );
+        let node_count = delta.node_count_after();
+        let removed_edges: BTreeSet<(u32, u32)> = delta.removed_edges.iter().copied().collect();
+        let mut dead = crate::NodeSet::new(node_count);
+        for &v in &delta.removed_nodes {
+            dead.insert(v);
+        }
+        // Added edges, minus those already present in the base (they
+        // must not be enumerated twice), deduplicated among themselves.
+        let mut extra: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+        let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for &(a, z) in delta.added_edges() {
+            if !seen.insert((a, z)) {
+                continue;
+            }
+            let in_base = (a as usize) < base.node_count()
+                && (z as usize) < base.node_count()
+                && base.has_edge(NodeId(a), NodeId(z));
+            if in_base {
+                continue;
+            }
+            extra.entry(a).or_default().push(NodeId(z));
+            extra.entry(z).or_default().push(NodeId(a));
+        }
+        for nbs in extra.values_mut() {
+            nbs.sort_unstable();
+        }
+        DeltaView {
+            base,
+            node_count,
+            extra,
+            removed_edges,
+            dead,
+        }
+    }
+}
+
+impl GraphView for DeltaView<'_> {
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, u: NodeId, mut visit: impl FnMut(NodeId)) {
+        if self.dead.contains(u) {
+            return;
+        }
+        let alive = |u: NodeId, v: NodeId| {
+            !self.dead.contains(v) && !self.removed_edges.contains(&undirected_key(u, v))
+        };
+        if u.index() < self.base.node_count() {
+            for &v in self.base.neighbors(u) {
+                if alive(u, v) {
+                    visit(v);
+                }
+            }
+        }
+        if let Some(extra) = self.extra.get(&u.0) {
+            for &v in extra {
+                if alive(u, v) {
+                    visit(v);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn contains_node(&self, v: NodeId) -> bool {
+        v.index() < self.node_count && !self.dead.contains(v)
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // Undirected edits on an undirected graph: both directions of
+        // every surviving edge are enumerated.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    fn path5() -> Graph {
+        from_edges(5, (0..4).map(|i| (NodeId(i), NodeId(i + 1))))
+    }
+
+    #[test]
+    fn apply_grows_and_edits() {
+        let g = path5();
+        let mut d = GraphDelta::new(5);
+        let w = d.add_node();
+        assert_eq!(w, NodeId(5));
+        d.add_edge(NodeId(0), w);
+        d.remove_edge(NodeId(2), NodeId(3));
+        let g2 = g.apply_delta(&d);
+        assert_eq!(g2.node_count(), 6);
+        assert_eq!(g2.edge_count(), 4); // 4 - 1 + 1
+        assert!(g2.has_edge(NodeId(0), NodeId(5)));
+        assert!(!g2.has_edge(NodeId(2), NodeId(3)));
+        assert!(g2.has_edge(NodeId(3), NodeId(4)));
+    }
+
+    #[test]
+    fn tombstone_keeps_id_drops_adjacency() {
+        let g = path5();
+        let mut d = GraphDelta::new(5);
+        d.remove_node(NodeId(2));
+        d.add_edge(NodeId(2), NodeId(4)); // added to a dead vertex: dropped
+        let g2 = g.apply_delta(&d);
+        assert_eq!(g2.node_count(), 5, "ids stay stable");
+        assert_eq!(g2.degree(NodeId(2)), 0);
+        assert!(!g2.has_edge(NodeId(1), NodeId(2)));
+        assert!(g2.has_edge(NodeId(3), NodeId(4)));
+    }
+
+    #[test]
+    fn add_then_remove_same_edge_removes() {
+        let g = path5();
+        let mut d = GraphDelta::new(5);
+        d.add_edge(NodeId(0), NodeId(4));
+        d.remove_edge(NodeId(4), NodeId(0)); // normalized to the same key
+        let g2 = g.apply_delta(&d);
+        assert!(!g2.has_edge(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn duplicate_add_of_existing_edge_is_noop() {
+        let g = path5();
+        let mut d = GraphDelta::new(5);
+        d.add_edge(NodeId(0), NodeId(1));
+        d.add_edge(NodeId(1), NodeId(0));
+        let g2 = g.apply_delta(&d);
+        assert_eq!(g2.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = path5();
+        let d = GraphDelta::new(5);
+        assert!(d.is_empty());
+        assert_eq!(d.op_count(), 0);
+        assert_eq!(g.apply_delta(&d), g);
+    }
+
+    #[test]
+    fn view_matches_rebuild() {
+        let g = path5();
+        let mut d = GraphDelta::new(5);
+        let w = d.add_node();
+        d.add_edge(w, NodeId(1));
+        d.remove_edge(NodeId(0), NodeId(1));
+        d.remove_node(NodeId(4));
+        let rebuilt = g.apply_delta(&d);
+        let view = DeltaView::new(&g, &d);
+        assert_eq!(view.node_count(), rebuilt.node_count());
+        assert!(view.is_symmetric());
+        for v in rebuilt.nodes() {
+            let mut from_view: Vec<NodeId> = Vec::new();
+            view.for_each_neighbor(v, |u| from_view.push(u));
+            from_view.sort_unstable();
+            assert_eq!(from_view, rebuilt.neighbors(v).to_vec(), "vertex {v}");
+            assert_eq!(
+                view.contains_node(v),
+                rebuilt.degree(v) > 0 || !d.removed_nodes().contains(&v)
+            );
+        }
+    }
+
+    #[test]
+    fn view_composes_with_arena_and_msbfs() {
+        let g = path5();
+        let mut d = GraphDelta::new(5);
+        let w = d.add_node(); // 5
+        d.add_edge(w, NodeId(4));
+        d.remove_edge(NodeId(1), NodeId(2));
+        let view = DeltaView::new(&g, &d);
+        let dist = crate::with_arena(|a| {
+            a.run(&view, NodeId(0));
+            (0..6).map(|v| a.distance(NodeId(v))).collect::<Vec<_>>()
+        });
+        assert_eq!(dist, vec![Some(0), Some(1), None, None, None, None]);
+        let lanes = crate::msbfs_distances(&view, &[NodeId(2), NodeId(5)]);
+        assert_eq!(
+            lanes[0],
+            vec![None, None, Some(0), Some(1), Some(2), Some(3)]
+        );
+        assert_eq!(lanes[1][4], Some(1));
+    }
+
+    #[test]
+    fn audit_accepts_and_detects_corruption() {
+        let mut d = GraphDelta::new(4);
+        d.add_node();
+        d.add_edge(NodeId(0), NodeId(4));
+        d.remove_edge(NodeId(1), NodeId(2));
+        d.remove_node(NodeId(3));
+        assert!(d.audit().is_ok());
+
+        let mut bad = d.clone();
+        bad.added_edges.push((3, 1)); // reversed key
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "delta.added-keys-normalized"));
+
+        let mut bad = d.clone();
+        bad.removed_edges.push((2, 2)); // self-loop key
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "delta.removed-keys-normalized"));
+
+        let mut bad = d;
+        bad.removed_nodes.push(NodeId(99));
+        assert!(bad
+            .audit()
+            .findings
+            .iter()
+            .any(|f| f.invariant == "delta.removed-nodes-in-range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_edge_rejected() {
+        let mut d = GraphDelta::new(3);
+        d.add_edge(NodeId(0), NodeId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta was built against")]
+    fn base_mismatch_rejected() {
+        let g = path5();
+        let d = GraphDelta::new(4);
+        let _ = g.apply_delta(&d);
+    }
+
+    #[test]
+    fn serde_round_trip_is_bit_identical() {
+        let mut d = GraphDelta::new(6);
+        d.add_node();
+        d.add_edge(NodeId(6), NodeId(0));
+        d.remove_edge(NodeId(1), NodeId(2));
+        d.remove_node(NodeId(5));
+        let json = serde_json::to_string(&d).expect("serialize");
+        let back: GraphDelta = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, d);
+        assert_eq!(serde_json::to_string(&back).expect("reserialize"), json);
+    }
+}

@@ -46,6 +46,8 @@
 //! - [`msbfs`] — bit-parallel multi-source BFS: 64 sources per `u64` lane
 //!   with direction-optimizing (push/pull) frontier expansion.
 //! - [`par`] — deterministic parallel executor for per-source fan-out.
+//! - [`delta`] — epochal topology deltas: serializable [`GraphDelta`]
+//!   edits, rebuild-with-diff application and the [`DeltaView`] overlay.
 //! - [`mod@dijkstra`] — weighted shortest paths.
 //! - [`components`] — connected components and a union-find.
 //! - [`fault`] — deterministic fault injection: serializable epochal
@@ -68,6 +70,7 @@ pub mod alphabeta;
 pub mod binio;
 pub mod centrality;
 pub mod components;
+pub mod delta;
 pub mod dijkstra;
 pub mod error;
 pub mod export;
@@ -89,6 +92,7 @@ pub use centrality::{coreness, degree_sequence, pagerank, top_by_score, PageRank
 pub use components::{
     connected_components, giant_component, view_components, Components, UnionFind,
 };
+pub use delta::{DeltaView, GraphDelta};
 pub use dijkstra::{dijkstra, WeightedGraph};
 pub use error::GraphError;
 pub use export::{to_dot, to_edge_list};

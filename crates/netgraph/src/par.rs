@@ -28,6 +28,43 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// per-chunk scratch of heavier kernels (Brandes).
 pub const DEFAULT_CHUNK: usize = 64;
 
+/// Adaptive chunk size for *chunk-invariant* maps:
+/// `max(DEFAULT_CHUNK, items / (threads * 4))`.
+///
+/// Larger inputs get proportionally larger chunks (fewer counter
+/// round-trips, less merge bookkeeping) while still leaving ~4 chunks
+/// per worker for load balancing. The chosen size is recorded in the
+/// `par.chunk_size` histogram.
+///
+/// **Determinism caveat:** the result depends on `threads`, so this is
+/// only safe for [`map`]-style calls whose output is independent of the
+/// chunk boundaries (per-item results, flattened in order). Chunk-
+/// *sensitive* consumers — [`map_chunks`] / [`map_reduce`] float merges,
+/// msbfs lane-batched reducers — must keep a fixed chunk size or their
+/// output would vary with the thread count.
+pub fn adaptive_chunk(items: usize, threads: usize) -> usize {
+    let workers = resolve_threads(threads).max(1);
+    let chunk = DEFAULT_CHUNK.max(items / (workers * 4));
+    let () = crate::histogram!("par.chunk_size", chunk as u64);
+    chunk
+}
+
+/// [`map`] with [`adaptive_chunk`] sizing. Per-item results are returned
+/// in input order, so the output is bit-identical for every `threads`
+/// value even though the chunk size adapts to it.
+///
+/// # Panics
+///
+/// Re-raises worker panics.
+pub fn map_auto<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map(items, adaptive_chunk(items.len(), threads), threads, f)
+}
+
 /// Resolve a user-facing thread count: `0` means "use all hardware
 /// threads" ([`std::thread::available_parallelism`]), anything else is
 /// taken literally.
@@ -178,6 +215,31 @@ mod tests {
     fn resolve_zero_is_hardware_threads() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn adaptive_chunk_floors_at_default_and_scales() {
+        // Small inputs keep the fixed floor.
+        assert_eq!(adaptive_chunk(100, 4), DEFAULT_CHUNK);
+        assert_eq!(adaptive_chunk(0, 1), DEFAULT_CHUNK);
+        // Large inputs: items / (threads * 4).
+        assert_eq!(adaptive_chunk(8000, 4), 8000 / 16);
+        assert_eq!(adaptive_chunk(10_000, 2), 10_000 / 8);
+        // threads = 0 resolves to hardware parallelism, still >= floor.
+        assert!(adaptive_chunk(1_000_000, 0) >= DEFAULT_CHUNK);
+    }
+
+    #[test]
+    fn map_auto_is_thread_count_invariant() {
+        // The adaptive chunk size differs per thread count, but map()
+        // output is chunk-invariant, so results stay bit-identical.
+        let items: Vec<f64> = (0..9000).map(|i| 1.0 / (i as f64 + 0.7)).collect();
+        let base: Vec<u64> = map_auto(&items, 1, |&x| (x * 3.0).to_bits());
+        for threads in [0, 2, 4, 7] {
+            let got: Vec<u64> = map_auto(&items, threads, |&x| (x * 3.0).to_bits());
+            assert_eq!(got, base, "threads = {threads}");
+        }
+        assert_eq!(base.len(), items.len());
     }
 
     #[test]

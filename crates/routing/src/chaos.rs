@@ -14,6 +14,16 @@
 //! Replay is a pure function of `(graph, brokers, schedule, src, dst)`,
 //! so session statistics are deterministic and reproducible from the
 //! serialized schedule alone.
+//!
+//! [`replay_session_evolving`] extends the model to an *evolving*
+//! topology: the caller supplies one graph (and one broker set) per
+//! epoch — typically the materialized prefixes of a
+//! `topology::DeltaStream` plus the brokers a
+//! `brokerset::BrokerMaintainer` kept per epoch — and the session now
+//! survives an epoch only if every hop's edge still *exists* in that
+//! epoch's graph on top of the fault-schedule checks. Churn and faults
+//! compose in one timeline: a link the growth model withdraws behaves
+//! exactly like a cut the schedule never recovers.
 
 use crate::stitch::StitchedPath;
 use netgraph::{
@@ -168,6 +178,133 @@ pub fn replay_sessions(
     stats
 }
 
+/// Replay one supervised session while the topology itself evolves.
+///
+/// Epoch `e` (for `e` in `0..schedule.horizon()`) runs on
+/// `graphs[min(e, graphs.len() - 1)]` with broker set
+/// `brokers[min(e, brokers.len() - 1)]` — the last entry extends to the
+/// remaining epochs, so a static topology is `std::slice::from_ref(&g)`.
+/// Vertex ids are stable across epochs (tombstones keep their id), and
+/// the schedule plus every broker set must be sized at the *final*
+/// vertex count so fault masks stay in range on every epoch graph.
+///
+/// On top of [`replay_session`]'s checks, a surviving path must keep all
+/// its hops present in the current epoch's graph, and endpoints born in
+/// a later epoch are outages until they exist.
+///
+/// # Panics
+///
+/// Panics if `graphs` or `brokers` is empty.
+pub fn replay_session_evolving(
+    graphs: &[Graph],
+    brokers: &[NodeSet],
+    schedule: &FaultSchedule,
+    src: NodeId,
+    dst: NodeId,
+) -> SessionReplay {
+    assert!(!graphs.is_empty(), "need at least one epoch graph");
+    assert!(!brokers.is_empty(), "need at least one broker set");
+    let mut out = SessionReplay {
+        epochs: schedule.horizon(),
+        connected_epochs: 0,
+        failovers: 0,
+        reroutes: 0,
+        outages: 0,
+    };
+    let mut active: Option<StitchedPath> = None;
+    let mut standby: Option<StitchedPath> = None;
+    let mut planned_once = false;
+    let mut epoch = 0usize;
+    schedule.replay(|state| {
+        let g = &graphs[epoch.min(graphs.len() - 1)];
+        let bset = &brokers[epoch.min(brokers.len() - 1)];
+        epoch += 1;
+        let mut alive = bset.clone();
+        alive.difference_with(state.failed_brokers());
+        alive.difference_with(state.failed_nodes());
+        let born = src.index() < g.node_count() && dst.index() < g.node_count();
+        if !born || state.failed_nodes().contains(src) || state.failed_nodes().contains(dst) {
+            out.outages += 1;
+            active = None;
+            standby = None;
+            return;
+        }
+        if active
+            .as_ref()
+            .is_some_and(|p| path_survives_on(g, &alive, state, &p.path))
+        {
+            out.connected_epochs += 1;
+            return;
+        }
+        if let Some(b) = standby.take() {
+            if path_survives_on(g, &alive, state, &b.path) {
+                out.failovers += 1;
+                active = Some(b);
+                out.connected_epochs += 1;
+                return;
+            }
+        }
+        if planned_once {
+            out.reroutes += 1;
+            netgraph::counter!("chaos.reroutes", 1);
+        }
+        planned_once = true;
+        match plan_under(g, &alive, state, src, dst) {
+            Some((primary, backup)) => {
+                active = Some(primary);
+                standby = backup;
+                out.connected_epochs += 1;
+            }
+            None => {
+                active = None;
+                standby = None;
+                out.outages += 1;
+            }
+        }
+    });
+    out
+}
+
+/// [`replay_session_evolving`] over many pairs, aggregated like
+/// [`replay_sessions`].
+pub fn replay_sessions_evolving(
+    graphs: &[Graph],
+    brokers: &[NodeSet],
+    schedule: &FaultSchedule,
+    pairs: &[(NodeId, NodeId)],
+) -> SessionStats {
+    let mut stats = SessionStats {
+        sessions: pairs.len(),
+        mean_availability: 0.0,
+        failovers: 0,
+        reroutes: 0,
+        unbroken: 0,
+    };
+    let mut avail_sum = 0.0;
+    for &(u, v) in pairs {
+        let r = replay_session_evolving(graphs, brokers, schedule, u, v);
+        avail_sum += r.availability();
+        stats.failovers += u64::from(r.failovers);
+        stats.reroutes += u64::from(r.reroutes);
+        if r.connected_epochs == r.epochs {
+            stats.unbroken += 1;
+        }
+    }
+    if !pairs.is_empty() {
+        stats.mean_availability = avail_sum / pairs.len() as f64;
+    }
+    stats
+}
+
+/// [`path_survives`] plus the evolving-topology requirement: every hop's
+/// edge must still exist in this epoch's graph (a link the growth model
+/// withdrew kills the path exactly like a cut).
+fn path_survives_on(g: &Graph, alive: &NodeSet, state: &FaultState, path: &[NodeId]) -> bool {
+    path_survives(alive, state, path)
+        && path.iter().all(|v| v.index() < g.node_count())
+        && path.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
 /// Does `path` still work this epoch? Every vertex up, every hop's edge
 /// uncut, and every hop dominated by a surviving broker.
 fn path_survives(alive: &NodeSet, state: &FaultState, path: &[NodeId]) -> bool {
@@ -309,6 +446,121 @@ mod tests {
         let r = replay_session(&g, &NodeSet::full(4), &sched, NodeId(0), NodeId(2));
         assert_eq!(r.connected_epochs, 1);
         assert_eq!(r.outages, 1);
+    }
+
+    #[test]
+    fn evolving_static_topology_matches_plain_replay() {
+        let g = cycle4();
+        let mut sched = FaultSchedule::new(4);
+        sched.fail_edge(1, NodeId(0), NodeId(1));
+        sched.set_horizon(3);
+        let brokers = NodeSet::full(4);
+        let plain = replay_session(&g, &brokers, &sched, NodeId(0), NodeId(2));
+        let evolving = replay_session_evolving(
+            std::slice::from_ref(&g),
+            std::slice::from_ref(&brokers),
+            &sched,
+            NodeId(0),
+            NodeId(2),
+        );
+        assert_eq!(plain, evolving);
+    }
+
+    #[test]
+    fn withdrawn_link_behaves_like_a_cut() {
+        // Epoch 0: the 4-cycle. Epoch 1+: growth withdraws edge 0-1.
+        // Primary 0-1-2 dies to *churn* (no fault anywhere); the session
+        // fails over to the disjoint 0-3-2 backup.
+        let g0 = cycle4();
+        let mut d = netgraph::GraphDelta::new(4);
+        d.remove_edge(NodeId(0), NodeId(1));
+        let g1 = g0.apply_delta(&d);
+        let mut sched = FaultSchedule::new(4);
+        sched.set_horizon(3);
+        let brokers = NodeSet::full(4);
+        let r = replay_session_evolving(
+            &[g0, g1],
+            std::slice::from_ref(&brokers),
+            &sched,
+            NodeId(0),
+            NodeId(2),
+        );
+        assert_eq!(r.connected_epochs, 3);
+        assert_eq!(r.failovers, 1);
+        assert_eq!(r.reroutes, 0);
+        assert_eq!(r.outages, 0);
+    }
+
+    #[test]
+    fn late_born_destination_is_outage_until_it_exists() {
+        // Epoch 0: path 0-1. Epoch 1+: newborn vertex 2 attaches to 1.
+        // Sessions to 2 are outages while it does not exist, then
+        // connect; the first plan is not a reroute.
+        let g0 = from_edges(2, [(NodeId(0), NodeId(1))]);
+        let mut d = netgraph::GraphDelta::new(2);
+        let w = d.add_node();
+        d.add_edge(w, NodeId(1));
+        let g1 = g0.apply_delta(&d);
+        // Final vertex count sizes the schedule and the broker set.
+        let mut sched = FaultSchedule::new(3);
+        sched.set_horizon(3);
+        let brokers = NodeSet::full(3);
+        let r = replay_session_evolving(
+            &[g0, g1],
+            std::slice::from_ref(&brokers),
+            &sched,
+            NodeId(0),
+            w,
+        );
+        assert_eq!(r.outages, 1);
+        assert_eq!(r.connected_epochs, 2);
+        assert_eq!(r.reroutes, 0);
+    }
+
+    #[test]
+    fn churn_and_faults_compose_in_one_timeline() {
+        // Epoch 1 cuts 0-1 by *fault*; epoch 2 withdraws 0-3 by *churn*.
+        // Failover eats the fault, the churn then forces a replan that
+        // finds nothing (0 is disconnected): one failover, one reroute
+        // counted, one outage.
+        let g0 = cycle4();
+        let mut d = netgraph::GraphDelta::new(4);
+        d.remove_edge(NodeId(0), NodeId(3));
+        let g1 = g0.apply_delta(&d);
+        let graphs = [g0.clone(), g0, g1];
+        let mut sched = FaultSchedule::new(4);
+        sched.fail_edge(1, NodeId(0), NodeId(1));
+        sched.set_horizon(3);
+        let brokers = NodeSet::full(4);
+        let r = replay_session_evolving(
+            &graphs,
+            std::slice::from_ref(&brokers),
+            &sched,
+            NodeId(0),
+            NodeId(2),
+        );
+        assert_eq!(r.failovers, 1);
+        assert_eq!(r.reroutes, 1);
+        assert_eq!(r.outages, 1);
+        assert_eq!(r.connected_epochs, 2);
+    }
+
+    #[test]
+    fn evolving_aggregate_adds_up() {
+        let g = cycle4();
+        let mut sched = FaultSchedule::new(4);
+        sched.set_horizon(2);
+        let brokers = NodeSet::full(4);
+        let pairs = [(NodeId(0), NodeId(2)), (NodeId(1), NodeId(3))];
+        let stats = replay_sessions_evolving(
+            std::slice::from_ref(&g),
+            std::slice::from_ref(&brokers),
+            &sched,
+            &pairs,
+        );
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.unbroken, 2);
+        assert!((stats.mean_availability - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub fn directional_connectivity_threaded(
             all
         }
     };
-    let fractions: Vec<f64> = par::map(&sources, par::DEFAULT_CHUNK, threads, |&s| {
+    // Chunk-invariant per-source map: adaptive chunk sizing is safe here
+    // (each item yields an independent f64; the ordered flatten makes the
+    // output identical for every thread count).
+    let fractions: Vec<f64> = par::map_auto(&sources, threads, |&s| {
         let reach = valley_free_reach(
             pg,
             s,

@@ -40,7 +40,10 @@ pub mod stats;
 pub mod taxonomy;
 pub mod validate;
 
-pub use evolve::{historical_snapshot, selection_jaccard};
+pub use evolve::{
+    evolve, historical_snapshot, materialize, selection_jaccard, DeltaOp, DeltaStream,
+    GrowthConfig, TopoDelta,
+};
 pub use geo::{GeoModel, Region};
 pub use internet::{Internet, InternetConfig, Scale};
 pub use outage::{ixp_outage_group, largest_ixp, region_outage_group};

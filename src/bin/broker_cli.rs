@@ -8,6 +8,7 @@
 //! broker-cli export    <snapshot.json> <out.dot> [k] DOT dump, brokers highlighted
 //! broker-cli audit     <snapshot.json> [alg] [k]      invariant audit (exit 1 on findings)
 //! broker-cli chaos     <snapshot.json> <alg> <k>      scripted fault timeline + certificate
+//! broker-cli evolve    <snapshot.json> <epochs> <k> [seed]  grow the topology, maintain brokers
 //! ```
 //!
 //! Algorithms: `maxsg`, `greedy`, `approx`, `db`, `prb`, `ixpb`, `tier1`.
@@ -16,13 +17,21 @@
 //! snapshot after a successful command and prints a one-line engine
 //! digest to stderr. Meaningful in `--features obs` builds; otherwise
 //! the snapshot is empty and the digest says so.
+//!
+//! `evolve` additionally honors a global `--record PATH`: the growth
+//! delta stream plus the per-epoch maintenance ledger are written as
+//! JSON (the stream round-trips bit-identically, so a recorded run can
+//! be replayed elsewhere).
 
 use brokerset::{
     approx_mcbg, chaos_trace, degree_based, greedy_mcb, ixp_based, lhop_curve, max_subgraph_greedy,
     pagerank_based, ranked_brokers, saturated_connectivity, tier1_only, ApproxConfig,
-    BrokerSelection, CoverageCertificate, DegradationCertificate, SourceMode, Validate,
+    BrokerMaintainer, BrokerSelection, CoverageCertificate, DegradationCertificate, MaintainConfig,
+    SourceMode, Validate,
 };
-use topology::{load_snapshot, save_snapshot, Internet, InternetConfig, Scale};
+use topology::{
+    evolve, load_snapshot, save_snapshot, GrowthConfig, Internet, InternetConfig, Scale,
+};
 
 /// Print to stdout, ignoring broken pipes (`broker_cli ... | head` must
 /// exit quietly, not panic).
@@ -35,8 +44,9 @@ macro_rules! say {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let obs_path = extract_obs_flag(&mut args);
-    let code = match run(&args) {
+    let obs_path = extract_path_flag(&mut args, "--obs");
+    let record_path = extract_path_flag(&mut args, "--record");
+    let code = match run(&args, record_path.as_deref()) {
         Ok(()) => {
             if let Some(path) = &obs_path {
                 dump_obs(path);
@@ -52,11 +62,12 @@ fn main() {
     std::process::exit(code);
 }
 
-/// Strip a global `--obs PATH` from the argument list, if present.
-fn extract_obs_flag(args: &mut Vec<String>) -> Option<String> {
-    let i = args.iter().position(|a| a == "--obs")?;
+/// Strip a global `--obs PATH` / `--record PATH` style flag from the
+/// argument list, if present. A flag without its path is a usage error.
+fn extract_path_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
     if i + 1 >= args.len() {
-        eprintln!("error: --obs expects a file path");
+        eprintln!("error: {flag} expects a file path");
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
@@ -98,9 +109,11 @@ usage:
   broker-cli export   <snapshot.json> <out.dot> [k]
   broker-cli audit    <snapshot.json> [alg] [k]
   broker-cli chaos    <snapshot.json> <alg> <k>
-algorithms: maxsg greedy approx db prb ixpb tier1";
+  broker-cli evolve   <snapshot.json> <epochs> <k> [seed]
+algorithms: maxsg greedy approx db prb ixpb tier1
+global flags: --obs PATH (metrics snapshot), --record PATH (evolve: delta stream + ledger JSON)";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String], record_path: Option<&str>) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
         "generate" => {
@@ -267,6 +280,84 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 eprintln!(
                     "chaos certificate failed: {} invariant(s) violated",
+                    audit.findings.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        "evolve" => {
+            let net = load(args.get(1))?;
+            let epochs: u32 = args
+                .get(2)
+                .ok_or("missing epoch count")?
+                .parse()
+                .map_err(|e| format!("bad epoch count: {e}"))?;
+            let k: usize = args
+                .get(3)
+                .ok_or("missing k")?
+                .parse()
+                .map_err(|e| format!("bad k: {e}"))?;
+            let seed: u64 = args
+                .get(4)
+                .map(|s| s.parse().map_err(|e| format!("bad seed: {e}")))
+                .transpose()?
+                .unwrap_or(7);
+            let n0 = net.graph().node_count();
+            let cfg = GrowthConfig::calibrated(epochs, n0);
+            let stream = evolve(&net, &cfg, seed);
+            let deltas = stream.lower();
+            say!(
+                "growing {n0} vertices for {} epochs (seed {seed}): {} ops, {} births",
+                deltas.len(),
+                stream.op_count(),
+                stream.births()
+            );
+            let mut g = net.graph().clone();
+            let mut m = BrokerMaintainer::new(&g, k, MaintainConfig::default());
+            say!(
+                "epoch  0: {:>4} brokers, coverage {:>6}/{:<6}",
+                m.brokers().len(),
+                m.coverage(),
+                g.node_count()
+            );
+            for d in &deltas {
+                let next = g.apply_delta(d);
+                let r = m.apply(&g, &next, d).clone();
+                say!(
+                    "epoch {:>2}: {:>4} brokers, coverage {:>6}/{:<6} ({} out, {} in{})",
+                    r.epoch,
+                    m.brokers().len(),
+                    r.coverage,
+                    next.node_count(),
+                    r.swapped_out.len(),
+                    r.swapped_in.len(),
+                    if r.recomputed { ", exact rebuild" } else { "" }
+                );
+                g = next;
+            }
+            say!(
+                "ledger: {} swaps total, max {} in one epoch",
+                m.ledger().total_swaps(),
+                m.ledger().max_swaps_per_epoch()
+            );
+            let audit = m.certify(&g).audit();
+            say!("certificate: {audit}");
+            if let Some(path) = record_path {
+                let blob = serde_json::json!({
+                    "seed": seed,
+                    "stream": serde_json::to_value(&stream).map_err(|e| e.to_string())?,
+                    "reports": serde_json::to_value(m.ledger().reports())
+                        .map_err(|e| e.to_string())?,
+                });
+                let text = serde_json::to_string_pretty(&blob).map_err(|e| e.to_string())?;
+                std::fs::write(path, text).map_err(|e| e.to_string())?;
+                say!("recorded delta stream + ledger to {path}");
+            }
+            if audit.is_ok() {
+                Ok(())
+            } else {
+                eprintln!(
+                    "maintenance certificate failed: {} invariant(s) violated",
                     audit.findings.len()
                 );
                 std::process::exit(1);

@@ -92,6 +92,52 @@ fn full_cli_workflow() {
 }
 
 #[test]
+fn evolve_reports_swaps_and_records_stream() {
+    let dir = tmpdir();
+    let snap = dir.join("evolving.json");
+    let rec = dir.join("evolve-record.json");
+    assert!(cli()
+        .args(["generate", "tiny", "7", snap.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    let out = cli()
+        .args([
+            "evolve",
+            snap.to_str().unwrap(),
+            "6",
+            "40",
+            "13",
+            "--record",
+            rec.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn evolve");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("epoch  0:"), "{text}");
+    assert!(text.contains("epoch  6:"), "{text}");
+    assert!(text.contains("ledger:"), "{text}");
+    assert!(text.contains("all invariants hold"), "{text}");
+
+    // The --record blob holds the replayable stream and one report per
+    // epoch.
+    let blob: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&rec).unwrap()).expect("record parses");
+    assert_eq!(blob["seed"].as_u64(), Some(13));
+    assert_eq!(blob["reports"].as_array().map(|a| a.len()), Some(6));
+    assert!(blob["stream"].as_object().is_some(), "stream missing");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_rejects_bad_input() {
     // Unknown command.
     let out = cli().args(["frobnicate"]).output().unwrap();
@@ -121,5 +167,25 @@ fn cli_rejects_bad_input() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+
+    // A --record flag with no path is a usage error: exit code 2
+    // exactly, with the usage text on stderr.
+    let out = cli()
+        .args(["evolve", snap.to_str().unwrap(), "4", "20", "--record"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--record expects a file path"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+
+    // Non-numeric epoch count: usage error as well.
+    let out = cli()
+        .args(["evolve", snap.to_str().unwrap(), "soon", "20"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad epoch count"));
+
     std::fs::remove_dir_all(&dir).ok();
 }
