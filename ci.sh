@@ -114,4 +114,26 @@ run cargo test --offline -q --workspace
 # must never change results, only observe them.
 run cargo test --offline -q --workspace --features obs
 
+# Perf smoke gate: the quarter-scale (13k-node) engine bench in both
+# feature states. engine_bench hard-asserts its own acceptance floors
+# (threaded exact l-hop speedup when the host has the cores for it) and
+# thread-count / permuted-layout bit-identity; here we additionally pin
+# that instrumentation does not change the exact-curve checksum.
+perf_smoke() {
+    echo "==> engine_bench --scale quarter $*" >&2
+    cargo run --offline --release -q -p bench "$@" --bin engine_bench -- \
+        --scale quarter --threads 0 \
+        | sed -n 's/^  curve_checksum: \([0-9a-f]\{16\}\).*/\1/p'
+}
+# obs first, default last, so the committed BENCH_engine.json entry
+# reflects the uninstrumented build.
+checksum_obs=$(perf_smoke --features obs)
+checksum_default=$(perf_smoke)
+if [ "$checksum_default" != "$checksum_obs" ]; then
+    echo "==> quarter-scale curve checksum differs across obs states:" >&2
+    echo "    default: $checksum_default, obs: $checksum_obs" >&2
+    exit 1
+fi
+echo "==> quarter-scale perf smoke passed (checksum $checksum_default)"
+
 echo "==> CI gate passed"

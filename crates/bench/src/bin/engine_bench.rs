@@ -1,47 +1,74 @@
 //! Engine-layer speedup snapshot: arena-pooled vs allocating BFS,
-//! sequential vs parallel exact l-hop evaluation, and the 64-lane
-//! `netgraph::msbfs` kernel vs the historical one-BFS-per-source path.
+//! sequential vs parallel exact l-hop evaluation, the 64-lane
+//! `netgraph::msbfs` kernel vs the historical one-BFS-per-source path,
+//! and the permuted (cache-aware) vs original CSR layout.
 //!
-//! Writes `BENCH_engine.json` at the repo root (wall-clock medians plus
-//! the derived speedups) so the numbers travel with the tree. Unlike the
-//! criterion benches this runs in seconds and exercises `--threads`.
+//! Maintains `BENCH_engine.json` at the repo root as a **`scales`
+//! array**: each invocation measures one scale (tiny, quarter or full —
+//! 52,079 nodes) and replaces that scale's entry, leaving the others in
+//! place, so the file accumulates the whole sweep:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin engine_bench -- --scale tiny
+//! cargo run --release -p bench --bin engine_bench -- --scale quarter
+//! cargo run --release -p bench --bin engine_bench -- --scale full
+//! ```
 //!
 //! ## Methodology
 //!
-//! Every timing is the **median of 3 (l-hop) or 5 (BFS sweep) runs** of
-//! the same closure on a generated topology, measured with a monotonic
-//! wall clock after a warm-up implied by topology generation and broker
-//! selection. The msbfs-vs-per-source comparison times two
-//! implementations of the *same* exact l-hop computation (`F_B(l)`,
-//! `l ≤ 6`, every vertex a source, identical chunking through
-//! `netgraph::par`):
+//! Every timing is a **median over repeated runs** (3 at tiny/quarter, 1
+//! at full, where a single exact sweep is already seconds) of the same
+//! closure on a generated topology, measured with a monotonic wall
+//! clock. The msbfs-vs-per-source comparison times two implementations
+//! of the *same* l-hop computation over the *same* source list:
 //!
 //! - **per-source** — the pre-msbfs evaluator, reproduced verbatim below
 //!   (`per_source_curve`): one arena BFS per source over
 //!   `DominatedView`, cumulative histogram per source;
-//! - **msbfs** — `brokerset::lhop_curve_parallel`, which now batches 64
-//!   sources into the bit lanes of a `u64` per adjacency pass.
+//! - **msbfs** — `brokerset::lhop_curve_parallel`, which batches 64
+//!   sources into the bit lanes of a `u64` per adjacency pass and fans
+//!   whole lane batches out on the persistent worker pool.
 //!
-//! Both paths run at each thread count in {1, 2, 4, 0 = all cores}, one
-//! JSON row per count, and the bin asserts their curves agree before
-//! timing anything. The schema is additive over the previous snapshot:
-//! old keys keep their meaning (`lhop_exact_*` now reflects the msbfs
-//! evaluator, which is the shipping path).
+//! At tiny scale the comparison is exact (every vertex a source); at
+//! quarter/full it uses a fixed sampled source list so the deliberately
+//! slow per-source baseline stays affordable — the *shipping* exact
+//! curve is still timed separately (`lhop_exact_*`).
+//!
+//! Both paths run at each thread count in {1, 2, 4, 7, 0 = all cores},
+//! one JSON row per count with the **resolved** worker count
+//! (`threads_resolved`), and `lhop_parallel_speedup` is reported against
+//! that resolved count — a 1.0x on a 1-core runner is the hardware's
+//! fault, not a regression, which is why the acceptance floors below are
+//! enforced only when the hardware can express them.
+//!
+//! ## Acceptance floors
+//!
+//! - quarter: >= 4x threaded exact l-hop speedup at 7 threads, enforced
+//!   (hard assert) when the host resolves >= 7 hardware threads;
+//! - full: exact shipping curve in single-digit seconds at `--threads
+//!   0`, enforced when the host resolves >= 4 hardware threads.
+//!
+//! Unenforced floors still record their measured value under
+//! `speedup_floor` so a capable machine can audit any run.
 //!
 //! ## Cross-build identity witness
 //!
-//! `curve_checksum` in the JSON is an FNV-1a hash over the exact bit
-//! patterns of the shipping curve (and the per-source reference counts).
-//! Timings differ run to run, but this field must be identical between
-//! a default build and a `--features obs` build of the same
-//! scale/seed — the observability macros must not perturb results.
+//! `curve_checksum` is an FNV-1a hash over the exact bit patterns of the
+//! shipping curve (and the per-source reference counts). The bin asserts
+//! it is identical across thread counts 1/2/4/7 **and** across the
+//! permuted vs original CSR layout; it must also match between a default
+//! build and a `--features obs` build of the same scale/seed — the
+//! observability macros must not perturb results.
 //!
-//! Usage: `engine_bench [tiny|quarter|full] [seed] [--threads N]
-//! [--obs PATH]`
+//! Usage: `engine_bench [tiny|quarter|full] [seed] [--scale S]
+//! [--threads N] [--obs PATH] [--record DIR]` (`--scale` overrides the
+//! positional scale).
 
-use bench::{header, RunConfig};
+use bench::{header, ArgExtras, RunConfig};
 use brokerset::{max_subgraph_greedy, SourceMode};
 use netgraph::{par, with_arena, DominatedView, FullView, Graph, NodeId, NodeSet, TraversalArena};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// FNV-1a over a stream of u64 values (fed little-endian byte-wise):
@@ -70,13 +97,37 @@ fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The source list a `SourceMode` resolves to — mirrors the evaluator's
+/// own sampling (seeded shuffle, truncate) so the per-source baseline
+/// and the msbfs path compare over identical sources.
+fn sources_for(g: &Graph, mode: SourceMode) -> Vec<NodeId> {
+    let n = g.node_count();
+    match mode {
+        SourceMode::Exact => g.nodes().collect(),
+        SourceMode::Sampled { count, seed } => {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut all: Vec<NodeId> = g.nodes().collect();
+            all.shuffle(&mut rng);
+            all.truncate(count.max(1).min(n));
+            all
+        }
+    }
+}
+
 /// The pre-msbfs exact l-hop evaluator, kept verbatim as the timing
 /// baseline: one arena BFS per source, fanned out in the same
 /// fixed-size chunks through the same deterministic executor.
-fn per_source_curve(g: &Graph, brokers: &NodeSet, max_l: usize, threads: usize) -> Vec<u64> {
-    let sources: Vec<NodeId> = g.nodes().collect();
-    let parts = par::map_chunks(&sources, par::DEFAULT_CHUNK, threads, |chunk| {
-        let view = DominatedView::new(g, brokers);
+fn per_source_curve(
+    g: &Graph,
+    brokers: &NodeSet,
+    max_l: usize,
+    sources: &[NodeId],
+    threads: usize,
+) -> Vec<u64> {
+    let g_owned = g.clone();
+    let brokers_owned = brokers.clone();
+    let parts = par::map_chunks(sources, par::DEFAULT_CHUNK, threads, move |chunk| {
+        let view = DominatedView::new(&g_owned, &brokers_owned);
         let mut cum = vec![0u64; max_l];
         with_arena(|arena| {
             for &s in chunk {
@@ -101,15 +152,44 @@ fn per_source_curve(g: &Graph, brokers: &NodeSet, max_l: usize, threads: usize) 
 }
 
 fn main() {
-    let rc = RunConfig::from_args();
+    let (rc, extras) = RunConfig::from_args_extended(
+        ArgExtras {
+            value_flags: &["--scale"],
+            max_positionals: 0,
+        },
+        " [--scale tiny|quarter|full]",
+    );
+    let mut rc = rc;
+    if let Some(s) = extras.flag("--scale") {
+        rc.scale = match s {
+            "tiny" => topology::Scale::Tiny,
+            "quarter" => topology::Scale::Quarter,
+            "full" => topology::Scale::Full,
+            other => {
+                eprintln!("error: unknown --scale '{other}' (expected tiny|quarter|full)");
+                std::process::exit(2);
+            }
+        };
+    }
+    let wall_start = Instant::now();
+    let t0 = Instant::now();
     let net = rc.internet();
+    let generated_s = t0.elapsed().as_secs_f64();
     let g = net.graph();
     let n = g.node_count();
     header("engine_bench", "traversal engine speedup snapshot");
 
+    let t0 = Instant::now();
     let sel = max_subgraph_greedy(g, rc.budgets(n)[2]);
+    let select_s = t0.elapsed().as_secs_f64();
     let threads = par::resolve_threads(rc.threads);
+    let hw = par::resolve_threads(0);
     const MAX_L: usize = 6;
+    let scale_name = format!("{:?}", rc.scale).to_lowercase();
+    let reps = match rc.scale {
+        topology::Scale::Tiny | topology::Scale::Quarter => 3,
+        topology::Scale::Full => 1,
+    };
 
     // BFS: pooled arena (steady state, zero allocation) vs a fresh arena
     // per run (what every deleted ad-hoc BFS used to pay).
@@ -128,48 +208,125 @@ fn main() {
     });
 
     // Exact l-hop curve on the shipping (msbfs) path: the executor's
-    // headline fan-out, sequential vs parallel.
-    let seq = median_secs(3, || {
+    // headline fan-out. Timed sequential, at the requested thread count,
+    // and at 7 threads (the quarter-scale acceptance point).
+    let seq = median_secs(reps, || {
         brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, 1)
     });
-    let par_s = median_secs(3, || {
+    let par_s = median_secs(reps, || {
         brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, threads)
     });
+    let par7_s = median_secs(reps, || {
+        brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, 7)
+    });
+    let lhop_speedup = seq / par_s;
+    let speedup_at_7 = seq / par7_s;
 
-    // msbfs vs per-source, one row per thread count. Correctness first:
-    // both evaluators must produce the same curve.
-    let reference = per_source_curve(g, sel.brokers(), MAX_L, 1);
-    let denom = n as f64 * (n as f64 - 1.0);
+    // msbfs vs per-source over identical sources: exact at tiny, a fixed
+    // sampled list at quarter/full (the per-source baseline exists to be
+    // slow; sampling keeps the comparison affordable at 52k nodes).
+    let cmp_mode = match rc.scale {
+        topology::Scale::Tiny => SourceMode::Exact,
+        topology::Scale::Quarter => SourceMode::Sampled {
+            count: 1024,
+            seed: rc.seed ^ 0xbe_ac41,
+        },
+        topology::Scale::Full => SourceMode::Sampled {
+            count: 512,
+            seed: rc.seed ^ 0xbe_ac41,
+        },
+    };
+    let cmp_sources = sources_for(g, cmp_mode);
+
+    // Correctness before timing: both evaluators must produce the same
+    // curve over the comparison sources.
+    let reference = per_source_curve(g, sel.brokers(), MAX_L, &cmp_sources, 1);
+    let denom = cmp_sources.len() as f64 * (n as f64 - 1.0);
     let reference_fractions: Vec<f64> = reference.iter().map(|&c| c as f64 / denom).collect();
-    let shipping = brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, 1);
+    let shipping = brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, cmp_mode, 1);
     assert_eq!(
         shipping.fractions, reference_fractions,
         "msbfs l-hop curve diverged from the per-source reference"
     );
-    // Bit-identity across thread counts, and the cross-build witness:
-    // the checksum must not change between feature-on and feature-off
-    // builds of the same scale/seed (see the module docs).
-    let parallel = brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, 0);
+
+    // Bit-identity across thread counts 1/2/4/7 (and the requested
+    // count), pinned on the exact shipping curve.
+    let exact_base = brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, 1);
+    for t in [2usize, 4, 7, rc.threads] {
+        let got = brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, t);
+        assert_eq!(
+            exact_base.fractions, got.fractions,
+            "l-hop curve is thread-count dependent (threads = {t})"
+        );
+    }
+
+    // Cache-aware layout: the same evaluation on the degree-descending
+    // permuted CSR with the broker set mapped into the permuted id
+    // space. Aggregate coverage is label-invariant, so the curve must be
+    // bit-identical; timing shows what the layout buys.
+    let t0 = Instant::now();
+    let perm = g.permute_by_degree();
+    let permute_s = t0.elapsed().as_secs_f64();
+    let brokers_new = perm.map_set(sel.brokers());
+    let permuted_curve =
+        brokerset::lhop_curve_parallel(perm.graph(), &brokers_new, MAX_L, SourceMode::Exact, 1);
     assert_eq!(
-        shipping.fractions, parallel.fractions,
-        "l-hop curve is thread-count dependent"
+        exact_base.fractions, permuted_curve.fractions,
+        "permuted CSR layout changed the exact l-hop curve"
     );
+    let lhop_original = median_secs(reps, || {
+        brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, threads)
+    });
+    let lhop_permuted = median_secs(reps, || {
+        brokerset::lhop_curve_parallel(
+            perm.graph(),
+            &brokers_new,
+            MAX_L,
+            SourceMode::Exact,
+            threads,
+        )
+    });
     let curve_checksum = fnv1a(
-        shipping
+        exact_base
             .fractions
             .iter()
             .map(|f| f.to_bits())
             .chain(reference.iter().copied()),
     );
-    println!("  curve_checksum: {curve_checksum:016x} (must match across obs on/off builds)");
+    let permuted_checksum = fnv1a(
+        permuted_curve
+            .fractions
+            .iter()
+            .map(|f| f.to_bits())
+            .chain(reference.iter().copied()),
+    );
+    assert_eq!(
+        curve_checksum, permuted_checksum,
+        "curve_checksum differs between CSR layouts"
+    );
+    println!("  curve_checksum: {curve_checksum:016x} (must match across threads, layouts and obs on/off builds)");
+    let layout_rows = serde_json::json!([
+        {"layout": "original", "lhop_exact_s": lhop_original, "curve_checksum": format!("{curve_checksum:016x}")},
+        {"layout": "permuted", "lhop_exact_s": lhop_permuted, "curve_checksum": format!("{permuted_checksum:016x}"),
+         "permute_build_s": permute_s},
+    ]);
+    println!(
+        "  layout: original {lhop_original:.4}s  permuted {lhop_permuted:.4}s  ({:.2}x)",
+        lhop_original / lhop_permuted
+    );
 
     let mut rows = Vec::new();
-    println!("  exact l-hop, msbfs vs per-source (max_l = {MAX_L}, {n} sources):");
-    for &t in &[1usize, 2, 4, 0] {
+    println!(
+        "  l-hop, msbfs vs per-source (max_l = {MAX_L}, {} sources):",
+        cmp_sources.len()
+    );
+    for &t in &[1usize, 2, 4, 7, 0] {
         let resolved = par::resolve_threads(t);
-        let per_source = median_secs(3, || per_source_curve(g, sel.brokers(), MAX_L, t));
-        let msbfs = median_secs(3, || {
-            brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, t)
+        let per_source = median_secs(reps, || {
+            per_source_curve(g, sel.brokers(), MAX_L, &cmp_sources, t)
+        });
+        let msbfs = median_secs(reps, || {
+            brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, cmp_mode, t)
         });
         let speedup = per_source / msbfs;
         println!(
@@ -189,31 +346,97 @@ fn main() {
         .map(|r| r["msbfs_speedup"].as_f64().unwrap_or(0.0))
         .unwrap_or(0.0);
 
-    let bfs_speedup = fresh / pooled;
-    let lhop_speedup = seq / par_s;
-    println!("  bfs {sweep}-source sweep   pooled {pooled:.4}s  fresh {fresh:.4}s  speedup {bfs_speedup:.2}x");
-    println!("  exact l-hop curve     seq {seq:.4}s  par({threads}) {par_s:.4}s  speedup {lhop_speedup:.2}x");
+    // Acceptance floors, enforced only where the hardware can express
+    // them (a 1-core runner cannot show a 4x threaded speedup; its
+    // honest numbers are still recorded).
+    let quarter_floor_enforced = matches!(rc.scale, topology::Scale::Quarter) && hw >= 7;
+    if quarter_floor_enforced {
+        assert!(
+            speedup_at_7 >= 4.0,
+            "quarter-scale exact l-hop speedup at 7 threads is {speedup_at_7:.2}x, floor is 4x"
+        );
+    }
+    let full_floor_enforced = matches!(rc.scale, topology::Scale::Full) && hw >= 4;
+    let full_exact_s = median_secs(reps, || {
+        brokerset::lhop_curve_parallel(g, sel.brokers(), MAX_L, SourceMode::Exact, 0)
+    });
+    if full_floor_enforced {
+        assert!(
+            full_exact_s < 10.0,
+            "full-scale exact l-hop curve took {full_exact_s:.2}s, floor is single-digit seconds"
+        );
+    }
+    let speedup_floor = serde_json::json!({
+        "quarter_speedup_at_7_required": 4.0,
+        "quarter_speedup_at_7_measured": speedup_at_7,
+        "quarter_floor_enforced": quarter_floor_enforced,
+        "full_exact_seconds_required": 10.0,
+        "full_exact_seconds_measured": full_exact_s,
+        "full_floor_enforced": full_floor_enforced,
+        "hardware_threads": hw,
+    });
 
-    let data = serde_json::json!({
+    let bfs_speedup = fresh / pooled;
+    println!("  bfs {sweep}-source sweep   pooled {pooled:.4}s  fresh {fresh:.4}s  speedup {bfs_speedup:.2}x");
+    println!(
+        "  exact l-hop curve     seq {seq:.4}s  par({threads}) {par_s:.4}s  speedup {lhop_speedup:.2}x  at-7 {speedup_at_7:.2}x"
+    );
+
+    let entry = serde_json::json!({
+        "scale": scale_name.as_str(),
+        "seed": rc.seed,
         "nodes": n,
         "brokers": sel.len(),
-        "threads": threads,
+        "threads": rc.threads,
+        "threads_resolved": threads,
+        "generated_s": generated_s,
+        "select_s": select_s,
         "bfs_sweep_sources": sweep,
         "bfs_pooled_s": pooled,
         "bfs_fresh_s": fresh,
         "bfs_pooled_speedup": bfs_speedup,
         "lhop_exact_seq_s": seq,
         "lhop_exact_par_s": par_s,
+        "lhop_exact_par7_s": par7_s,
+        "lhop_exact_allcores_s": full_exact_s,
         "lhop_parallel_speedup": lhop_speedup,
+        "lhop_speedup_at_7": speedup_at_7,
+        "speedup_floor": speedup_floor,
+        "compare_sources": cmp_sources.len(),
         "lhop_rows": rows,
+        "layout_rows": layout_rows,
         "msbfs_vs_per_source_par_speedup": msbfs_par_speedup,
         "curve_checksum": format!("{curve_checksum:016x}"),
         "obs_enabled": netgraph::obs::enabled(),
+        "wall_s_total": wall_start.elapsed().as_secs_f64(),
     });
-    let record = bench::ExperimentRecord::new("engine_bench", &rc, data);
-    let json = serde_json::to_string_pretty(&record).expect("serialize bench record");
+
+    // Read-modify-write the scales array: replace this scale's entry,
+    // keep the others, order by node count.
     let path = std::path::Path::new("BENCH_engine.json");
+    let mut scales: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok())
+        .and_then(|v| {
+            v.get("scales")
+                .and_then(|s| s.as_array().map(|a| a.to_vec()))
+        })
+        .unwrap_or_default();
+    scales.retain(|s| s["scale"] != scale_name.as_str());
+    scales.push(entry.clone());
+    scales.sort_by_key(|s| s["nodes"].as_u64().unwrap_or(0));
+    let doc = serde_json::json!({
+        "id": "engine_bench",
+        "scales": scales,
+    });
+    let json = serde_json::to_string_pretty(&doc).expect("serialize bench record");
     std::fs::write(path, json).expect("write BENCH_engine.json");
-    println!("  wrote {}", path.display());
+    println!(
+        "  wrote {} ({} scale entries)",
+        path.display(),
+        doc["scales"].as_array().map_or(0, |a| a.len())
+    );
+    rc.record("engine_bench", entry)
+        .expect("--record write failed");
     rc.dump_obs("engine_bench").expect("--obs write failed");
 }

@@ -197,16 +197,21 @@ fn main() {
     // parallel (adaptive chunking) at 1/2/4/7 workers and fingerprint
     // the full maintenance history; all four checksums must agree.
     let epoch_ids: Vec<usize> = (0..graphs.len()).collect();
+    // Pool jobs are 'static: share the epoch snapshots with the workers.
+    let graphs_shared = std::sync::Arc::new(graphs);
+    let history_shared = std::sync::Arc::new(broker_history);
     let mut checksums = Vec::new();
     for &t in &[1usize, 2, 4, 7] {
-        let covs: Vec<u64> = par::map_auto(&epoch_ids, t, |&e| {
-            coverage_of(&graphs[e], &broker_history[e]) as u64
+        let gs = std::sync::Arc::clone(&graphs_shared);
+        let hist = std::sync::Arc::clone(&history_shared);
+        let covs: Vec<u64> = par::map_auto(&epoch_ids, t, move |&e| {
+            coverage_of(&gs[e], &hist[e]) as u64
         });
         let checksum = fnv1a(
             covs.iter()
                 .copied()
                 .chain(
-                    broker_history
+                    history_shared
                         .iter()
                         .flat_map(|bs| bs.iter().map(|v| u64::from(v.0))),
                 )
@@ -225,14 +230,14 @@ fn main() {
     // defect mid-growth and recover near the end while supervised
     // sessions replay over the evolving graphs.
     let mut schedule = FaultSchedule::new(n_final);
-    let victims: Vec<NodeId> = broker_history[0].iter().copied().take(2).collect();
+    let victims: Vec<NodeId> = history_shared[0].iter().copied().take(2).collect();
     let recover_at = (deltas.len() as u32).saturating_sub(2).max(3);
     for &b in &victims {
         schedule.fail_broker(2, b);
         schedule.recover_broker(recover_at, b);
     }
     schedule.set_horizon(deltas.len() as u32 + 1);
-    let broker_sets: Vec<NodeSet> = broker_history
+    let broker_sets: Vec<NodeSet> = history_shared
         .iter()
         .map(|bs| NodeSet::from_iter_with_capacity(n_final, bs.iter().copied()))
         .collect();
@@ -244,7 +249,7 @@ fn main() {
             pairs.push((NodeId(u), NodeId(v)));
         }
     }
-    let stats = replay_sessions_evolving(&graphs, &broker_sets, &schedule, &pairs);
+    let stats = replay_sessions_evolving(&graphs_shared, &broker_sets, &schedule, &pairs);
     println!(
         "\nsessions over evolving topology: {} replayed; mean availability {};\n\
          {} failovers, {} reroutes; {} sessions never dropped",

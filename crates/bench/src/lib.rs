@@ -271,13 +271,15 @@ pub fn obs_digest(snap: &netgraph::obs::Snapshot) -> String {
         }
     };
     format!(
-        "msbfs pool hit {} | arena pool hit {} | push/pull expansions {}/{} | levels {} | par chunks {}",
+        "msbfs pool hit {} | arena pool hit {} | worker reuse {} | push/pull expansions {}/{} | levels {} | par chunks {} | steals {}",
         hit_rate(c("msbfs.pool.acquire"), c("msbfs.pool.fresh")),
         hit_rate(c("arena.pool.acquire"), c("arena.pool.fresh")),
+        hit_rate(c("par.pool_reuse"), c("par.pool.spawn")),
         c("msbfs.push_expansions"),
         c("msbfs.pull_expansions"),
         c("msbfs.levels"),
         c("par.chunks"),
+        c("par.steal"),
     )
 }
 

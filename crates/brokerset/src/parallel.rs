@@ -8,13 +8,20 @@
 //! curves.
 
 use crate::connectivity::{run_sources, sample_sources, sample_std_error, LhopCurve, SourceMode};
-use netgraph::{par, Graph, NodeSet};
+use netgraph::{msbfs, par, Graph, NodeSet};
+use std::sync::Arc;
 
 /// Parallel version of [`crate::lhop_curve`]; produces *bit-identical*
-/// results for the same inputs at every thread count: sources are chunked
-/// at a fixed size ([`par::DEFAULT_CHUNK`]), per-chunk partials are merged
-/// in chunk-index order, and the per-source finals feed the error
-/// estimate in source order — exactly as the sequential path does.
+/// results for the same inputs at every thread count.
+///
+/// The fan-out unit is one msbfs **lane batch**: batch `b` covers
+/// `sources[b * LANES .. (b + 1) * LANES]`, so every work item feeds the
+/// 64-lane kernel a full batch instead of single sources. Batch
+/// boundaries are fixed by [`msbfs::LANES`] (never by `threads`), the
+/// cumulative histogram merge is integer-additive, and the per-source
+/// finals concatenate in batch order — so the result is invariant both
+/// to the thread count *and* to how batches are grouped into pool
+/// chunks, which makes [`par::adaptive_chunk`] sizing safe here.
 ///
 /// `threads = 0` means all hardware threads
 /// ([`std::thread::available_parallelism`]); worker panics propagate to
@@ -34,16 +41,36 @@ pub fn lhop_curve_parallel(
             sources: 0,
         };
     }
-    let sources = sample_sources(g, mode);
+    let sources = Arc::new(sample_sources(g, mode));
+    let n_sources = sources.len();
+    let batches: Vec<u32> = (0..n_sources.div_ceil(msbfs::LANES) as u32).collect();
 
-    // Per-chunk partials (cum histogram, per-source finals), merged in
-    // chunk-index order through the blessed reducer.
+    // Pool jobs are 'static: the closure owns one CSR clone, one broker
+    // set clone, and a shared handle on the source list.
+    let g_owned = g.clone();
+    let brokers_owned = brokers.clone();
+    let src = Arc::clone(&sources);
+    let chunk_size = par::adaptive_chunk(batches.len(), threads);
     let (cum, finals) = par::map_reduce(
-        &sources,
-        par::DEFAULT_CHUNK,
+        &batches,
+        chunk_size,
         threads,
-        |chunk| run_sources(g, brokers, max_l, chunk),
-        (vec![0u64; max_l], Vec::with_capacity(sources.len())),
+        move |chunk| {
+            let mut cum = vec![0u64; max_l];
+            let mut finals = Vec::new();
+            for &b in chunk {
+                let lo = b as usize * msbfs::LANES;
+                let hi = (lo + msbfs::LANES).min(src.len());
+                let (batch_cum, batch_finals) =
+                    run_sources(&g_owned, &brokers_owned, max_l, &src[lo..hi]);
+                for (acc, c) in cum.iter_mut().zip(batch_cum) {
+                    *acc += c;
+                }
+                finals.extend(batch_finals);
+            }
+            (cum, finals)
+        },
+        (vec![0u64; max_l], Vec::with_capacity(n_sources)),
         |(mut cum, mut finals), (partial_cum, partial_finals)| {
             for (acc, c) in cum.iter_mut().zip(partial_cum) {
                 *acc += c;

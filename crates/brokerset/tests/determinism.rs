@@ -44,6 +44,33 @@ fn lhop_curve_sampled_bit_identical() {
 }
 
 #[test]
+fn lhop_curve_permuted_layout_bit_identical() {
+    // The cache-aware CSR relabeling must be invisible in results: with
+    // brokers mapped into the new id space, the exact l-hop curve over
+    // the permuted graph is built from the same relabeling-invariant
+    // pair counts, so every fraction must match the unpermuted
+    // sequential baseline bit for bit at every thread count.
+    use netgraph::Validate;
+
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let sel = max_subgraph_greedy(g, 60);
+    let seq = lhop_curve(g, sel.brokers(), 6, SourceMode::Exact);
+
+    let perm = g.permute_by_degree();
+    let cert = perm.audit();
+    assert!(cert.is_ok(), "permutation certificate failed: {cert:?}");
+    let brokers_p = perm.map_set(sel.brokers());
+    for t in THREADS {
+        let par = lhop_curve_parallel(perm.graph(), &brokers_p, 6, SourceMode::Exact, t);
+        assert_eq!(
+            seq, par,
+            "permuted-layout l-hop curve diverged at threads={t}"
+        );
+    }
+}
+
+#[test]
 fn failure_trace_bit_identical() {
     let net = InternetConfig::scaled(Scale::Tiny).generate(42);
     let g = net.graph();

@@ -100,7 +100,7 @@ pub use fault::{
     FaultAction, FaultEvent, FaultGroup, FaultSchedule, FaultState, FaultTarget, FaultView,
 };
 pub use gen::{barabasi_albert, erdos_renyi_gnm, erdos_renyi_gnp, watts_strogatz};
-pub use graph::{undirected_key, Graph, GraphBuilder, NodeId};
+pub use graph::{undirected_key, Graph, GraphBuilder, NodeId, Permuted};
 pub use metrics::{
     betweenness, betweenness_threaded, closeness, closeness_threaded, clustering_coefficients,
     degree_assortativity, degree_stats, diameter_lower_bound, mean_clustering, DegreeStats,

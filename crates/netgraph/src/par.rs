@@ -3,7 +3,8 @@
 //! Every hot path in the evaluation — exact l-hop curves, Brandes
 //! betweenness, resilience failure sweeps — is a map over independent
 //! items (BFS sources, failure steps) whose results are merged. This
-//! module runs such maps over `std::thread::scope` with three guarantees:
+//! module runs such maps over a **lazily initialized persistent worker
+//! pool** with three guarantees:
 //!
 //! 1. **Determinism independent of thread count.** Items are grouped into
 //!    *fixed-size* chunks (the chunk size does not depend on `threads`)
@@ -12,57 +13,196 @@
 //!    `threads`, including 1 — floating-point reductions associate the
 //!    same way no matter how many workers ran.
 //! 2. **Panic propagation.** A panicking worker does not poison-and-hang
-//!    the merge: the payload is resumed on the calling thread via
-//!    [`std::panic::resume_unwind`].
+//!    the merge: the payload is caught on the worker, shipped back over
+//!    the completion channel, and resumed on the calling thread via
+//!    [`std::panic::resume_unwind`]. The pool thread itself survives.
 //! 3. **`threads = 0` means auto.** Resolved to
 //!    [`std::thread::available_parallelism`], not a sequential fallback.
 //!
+//! # Pool lifecycle
+//!
+//! The pool is a process-global, grow-on-demand set of detached worker
+//! threads, each owning an [`mpsc`] job queue. The first map that wants
+//! `k` helpers spawns them (`par.pool.spawn`); every later map re-uses
+//! them (`par.pool_reuse`), so repeated `map_auto`/`map_chunks`/
+//! `map_reduce` calls stop paying thread start-up. Because the threads
+//! persist, their `thread_local!` scratch — the [`crate::traverse`]
+//! arena pool and the [`crate::msbfs`] lane pool — stays warm across
+//! jobs: arenas are pinned per worker and re-used instead of re-allocated
+//! on every call, which is where most of the old spawn-per-call model's
+//! overhead went.
+//!
 //! Work is distributed by an atomic chunk counter, so a slow chunk does
 //! not stall the other workers (no static striping); the index-ordered
-//! merge restores determinism afterwards.
+//! merge restores determinism afterwards. The *calling* thread is always
+//! a full participant in the claim loop — a map never waits on pool
+//! scheduling to make progress, which is also the liveness argument:
+//! helper jobs always terminate (the counter exhausts) and the caller
+//! can finish every chunk alone if the pool is busy.
+//!
+//! Jobs shipped to the pool must be `'static`: the executor clones the
+//! item slice (and the closure captures whatever owned state it needs),
+//! trading one shallow copy per call for the removal of per-call thread
+//! spawns. Maps issued *from inside* a pool worker run inline on that
+//! worker — nested fan-out would otherwise queue helper jobs behind the
+//! very job that is waiting for them.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Default chunk size for source-level fan-out. Small enough to load
 /// balance thousands of BFS sources, large enough to amortize the
-/// per-chunk scratch of heavier kernels (Brandes).
+/// per-chunk scratch of heavier kernels (Brandes). Equals
+/// [`crate::msbfs::LANES`] so a chunk of BFS sources is exactly one
+/// msbfs lane batch.
 pub const DEFAULT_CHUNK: usize = 64;
 
+/// A unit of pool work: run a claim loop, ship the result back.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Process-global pool: one job queue per persistent worker, grown on
+/// demand and never torn down (workers are detached and park in `recv`).
+static POOL: OnceLock<Mutex<Vec<Sender<Job>>>> = OnceLock::new();
+
+thread_local! {
+    /// True on pool worker threads. Maps issued from a worker run inline:
+    /// dispatching helpers from inside a job could queue them behind the
+    /// job itself and deadlock the completion channel.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Spawn one detached pool worker and hand back its job queue.
+fn spawn_worker(index: usize) -> Sender<Job> {
+    let (tx, rx) = mpsc::channel::<Job>();
+    let spawned = std::thread::Builder::new()
+        .name(format!("netgraph-par-{index}"))
+        .spawn(move || {
+            IN_POOL.with(|flag| flag.set(true));
+            while let Ok(job) = rx.recv() {
+                // Jobs wrap user code in catch_unwind already; this outer
+                // layer keeps a stray panic from killing the worker and
+                // stranding jobs queued behind it.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+        });
+    match spawned {
+        Ok(_handle) => tx, // detached: the worker parks in recv() for the process lifetime
+        Err(e) => panic!("failed to spawn pool worker {index}: {e}"),
+    }
+}
+
+/// Send one job to each of the first `jobs.len()` pool workers, growing
+/// the pool if the request is wider than it has ever been.
+fn dispatch(jobs: Vec<Job>) {
+    let pool = POOL.get_or_init(|| Mutex::new(Vec::new()));
+    let mut senders = pool.lock().unwrap_or_else(PoisonError::into_inner);
+    for (slot, job) in jobs.into_iter().enumerate() {
+        if slot >= senders.len() {
+            senders.push(spawn_worker(slot));
+            let () = crate::counter!("par.pool.spawn");
+        } else {
+            let () = crate::counter!("par.pool_reuse");
+        }
+        if let Err(returned) = senders[slot].send(job) {
+            // Unreachable under the worker-loop catch_unwind, but keeps
+            // the pool self-healing instead of deadlocking if a worker
+            // ever vanishes: respawn and requeue on the fresh channel.
+            senders[slot] = spawn_worker(slot);
+            let _ = senders[slot].send(returned.0);
+        }
+    }
+}
+
+/// State shared by every participant of one `map_chunks` call.
+struct Shared<T, F> {
+    items: Vec<T>,
+    f: F,
+    next: AtomicUsize,
+    chunk_size: usize,
+    n_chunks: usize,
+    /// Even share of chunks per participant; claims beyond it count as
+    /// steals (`par.steal`) — the executor's load-imbalance signal.
+    fair_share: usize,
+}
+
+impl<T, F> Shared<T, F> {
+    /// Claim chunks off the shared counter until it exhausts. Runs
+    /// unmodified on the caller and (under `catch_unwind`) on helpers.
+    fn claim_loop<R>(&self) -> Vec<(usize, R)>
+    where
+        F: Fn(&[T]) -> R,
+    {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            // One fetch per *chunk*, so the stronger ordering costs
+            // nothing measurable; SeqCst keeps the executor inside the
+            // workspace-wide "Relaxed only in obs.rs" rule (R11).
+            let i = self.next.fetch_add(1, Ordering::SeqCst);
+            if i >= self.n_chunks {
+                break;
+            }
+            let lo = i * self.chunk_size;
+            let hi = (lo + self.chunk_size).min(self.items.len());
+            local.push((i, (self.f)(&self.items[lo..hi])));
+        }
+        // One sample per participant: the spread of this histogram is
+        // the executor's steal imbalance, and claims beyond the even
+        // share are surfaced as `par.steal`.
+        let steals = local.len().saturating_sub(self.fair_share) as u64;
+        debug_assert!(steals as usize <= self.n_chunks, "claimed more than exist");
+        let () = crate::histogram!("par.chunks_per_worker", local.len() as u64);
+        let () = crate::counter!("par.steal", steals);
+        local
+    }
+}
+
 /// Adaptive chunk size for *chunk-invariant* maps:
-/// `max(DEFAULT_CHUNK, items / (threads * 4))`.
+/// `max(1, ceil(items / (threads * 4)))`.
 ///
 /// Larger inputs get proportionally larger chunks (fewer counter
 /// round-trips, less merge bookkeeping) while still leaving ~4 chunks
-/// per worker for load balancing. The chosen size is recorded in the
+/// per worker for load balancing; small inputs get chunk 1 so even a
+/// dozen heavy items (chaos epochs, evolution steps) fan out instead of
+/// collapsing into one chunk. The chosen size is recorded in the
 /// `par.chunk_size` histogram.
 ///
 /// **Determinism caveat:** the result depends on `threads`, so this is
-/// only safe for [`map`]-style calls whose output is independent of the
-/// chunk boundaries (per-item results, flattened in order). Chunk-
-/// *sensitive* consumers — [`map_chunks`] / [`map_reduce`] float merges,
-/// msbfs lane-batched reducers — must keep a fixed chunk size or their
+/// only safe for [`map_auto`]-style calls whose output is independent of
+/// the chunk boundaries (per-item results, flattened in order; or exact
+/// integer merges). Chunk-*sensitive* consumers — [`map_chunks`] /
+/// [`map_reduce`] float merges — must keep a fixed chunk size or their
 /// output would vary with the thread count.
 pub fn adaptive_chunk(items: usize, threads: usize) -> usize {
     let workers = resolve_threads(threads).max(1);
-    let chunk = DEFAULT_CHUNK.max(items / (workers * 4));
+    let chunk = items.div_ceil(workers * 4).max(1);
     let () = crate::histogram!("par.chunk_size", chunk as u64);
     chunk
 }
 
-/// [`map`] with [`adaptive_chunk`] sizing. Per-item results are returned
-/// in input order, so the output is bit-identical for every `threads`
-/// value even though the chunk size adapts to it.
+/// Map each item of `items` through `f` in parallel with
+/// [`adaptive_chunk`] sizing, returning per-item results in input order.
+/// The output is bit-identical for every `threads` value even though the
+/// chunk size adapts to it.
 ///
 /// # Panics
 ///
 /// Re-raises worker panics.
 pub fn map_auto<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&T) -> R + Send + Sync + 'static,
 {
-    map(items, adaptive_chunk(items.len(), threads), threads, f)
+    let chunk = adaptive_chunk(items.len(), threads);
+    map_chunks(items, chunk, threads, move |chunk: &[T]| {
+        chunk.iter().map(&f).collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Resolve a user-facing thread count: `0` means "use all hardware
@@ -76,68 +216,84 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// Map fixed-size chunks of `items` through `f` in parallel, returning
-/// the per-chunk results in chunk-index order.
+/// Map fixed-size chunks of `items` through `f` in parallel on the
+/// persistent pool, returning the per-chunk results in chunk-index order.
 ///
 /// The chunking (and therefore the result) is identical for every value
 /// of `threads`; see the module docs for the determinism contract. A
 /// panic in any worker is re-raised on the calling thread.
+///
+/// The executor owns its inputs: `items` is cloned once per call and the
+/// closure must be `'static` (capture owned state — for a [`crate::Graph`]
+/// that is one CSR clone per call, amortized across every chunk).
 ///
 /// # Panics
 ///
 /// Panics if `chunk_size == 0`, and re-raises worker panics.
 pub fn map_chunks<T, R, F>(items: &[T], chunk_size: usize, threads: usize, f: F) -> Vec<R>
 where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> R + Sync,
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&[T]) -> R + Send + Sync + 'static,
 {
     assert!(chunk_size > 0, "chunk_size must be positive");
-    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
-    let workers = resolve_threads(threads).min(chunks.len()).max(1);
+    let n_chunks = items.len().div_ceil(chunk_size);
+    let nested = IN_POOL.with(Cell::get);
+    let participants = if nested {
+        1
+    } else {
+        resolve_threads(threads).min(n_chunks).max(1)
+    };
     let () = crate::counter!("par.jobs");
-    let () = crate::counter!("par.chunks", chunks.len() as u64);
-    if workers <= 1 {
-        let () = crate::histogram!("par.chunks_per_worker", chunks.len() as u64);
-        return chunks.into_iter().map(f).collect();
+    let () = crate::counter!("par.chunks", n_chunks as u64);
+    if participants <= 1 {
+        let () = crate::histogram!("par.chunks_per_worker", n_chunks as u64);
+        return items.chunks(chunk_size).map(f).collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        // One fetch per *chunk*, so the stronger ordering
-                        // costs nothing measurable; SeqCst keeps the
-                        // executor inside the workspace-wide "Relaxed only
-                        // in obs.rs" rule (R11).
-                        let i = next.fetch_add(1, Ordering::SeqCst);
-                        let Some(chunk) = chunks.get(i) else { break };
-                        local.push((i, f(chunk)));
-                    }
-                    // One sample per worker: the spread of this histogram
-                    // is the executor's steal imbalance.
-                    let () = crate::histogram!("par.chunks_per_worker", local.len() as u64);
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(local) => local,
-                // Re-raise the worker's panic on the calling thread with
-                // its original payload.
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
+    let helpers = participants - 1;
+    let shared = Arc::new(Shared {
+        items: items.to_vec(),
+        f,
+        next: AtomicUsize::new(0),
+        chunk_size,
+        n_chunks,
+        fair_share: n_chunks.div_ceil(participants),
     });
+    let (tx, rx) = mpsc::channel();
+    let jobs: Vec<Job> = (0..helpers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| shared.claim_loop()));
+                // A dropped receiver (caller already unwinding) is fine.
+                let _ = tx.send(result);
+            }) as Job
+        })
+        .collect();
+    drop(tx);
+    dispatch(jobs);
 
-    let n_chunks = chunks.len();
+    // The caller is a full participant: it claims chunks alongside the
+    // pool, so progress never depends on pool scheduling.
+    let mut pairs = shared.claim_loop();
+    let mut panic_payload = None;
+    for _ in 0..helpers {
+        match rx.recv() {
+            Ok(Ok(local)) => pairs.extend(local),
+            // Hold the payload until every helper reported, so no job
+            // still borrows the shared state when we unwind.
+            Ok(Err(payload)) => panic_payload = Some(payload),
+            Err(_) => panic!("pool worker lost before completing its job"),
+        }
+    }
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n_chunks).collect();
-    for (i, r) in per_worker.into_iter().flatten() {
+    for (i, r) in pairs {
         debug_assert!(slots[i].is_none(), "chunk {i} computed twice");
         slots[i] = Some(r);
     }
@@ -168,9 +324,9 @@ pub fn map_reduce<T, R, A, F, M>(
     merge: M,
 ) -> A
 where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> R + Sync,
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&[T]) -> R + Send + Sync + 'static,
     M: FnMut(A, R) -> A,
 {
     map_chunks(items, chunk_size, threads, f)
@@ -186,30 +342,15 @@ pub fn sum_f64(xs: &[f64]) -> f64 {
     xs.iter().fold(0.0f64, |acc, &x| acc + x)
 }
 
-/// Map each item of `items` through `f` in parallel, returning per-item
-/// results in input order. Built on [`map_chunks`], so the same
-/// determinism contract applies.
-///
-/// # Panics
-///
-/// Re-raises worker panics.
-pub fn map<T, R, F>(items: &[T], chunk_size: usize, threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    map_chunks(items, chunk_size, threads, |chunk| {
-        chunk.iter().map(&f).collect::<Vec<R>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn pool_size() -> usize {
+        POOL.get().map_or(0, |m| {
+            m.lock().unwrap_or_else(PoisonError::into_inner).len()
+        })
+    }
 
     #[test]
     fn resolve_zero_is_hardware_threads() {
@@ -218,21 +359,24 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_chunk_floors_at_default_and_scales() {
-        // Small inputs keep the fixed floor.
-        assert_eq!(adaptive_chunk(100, 4), DEFAULT_CHUNK);
-        assert_eq!(adaptive_chunk(0, 1), DEFAULT_CHUNK);
-        // Large inputs: items / (threads * 4).
+    fn adaptive_chunk_scales_with_input_and_floors_at_one() {
+        // Small inputs get chunk 1 so a handful of heavy items still
+        // fans out (chaos epochs, evolution steps).
+        assert_eq!(adaptive_chunk(0, 1), 1);
+        assert_eq!(adaptive_chunk(12, 4), 1);
+        // Large inputs: ceil(items / (threads * 4)).
         assert_eq!(adaptive_chunk(8000, 4), 8000 / 16);
         assert_eq!(adaptive_chunk(10_000, 2), 10_000 / 8);
-        // threads = 0 resolves to hardware parallelism, still >= floor.
-        assert!(adaptive_chunk(1_000_000, 0) >= DEFAULT_CHUNK);
+        assert_eq!(adaptive_chunk(100, 4), 100usize.div_ceil(16));
+        // threads = 0 resolves to hardware parallelism, still >= 1.
+        assert!(adaptive_chunk(1_000_000, 0) >= 1);
     }
 
     #[test]
     fn map_auto_is_thread_count_invariant() {
-        // The adaptive chunk size differs per thread count, but map()
-        // output is chunk-invariant, so results stay bit-identical.
+        // The adaptive chunk size differs per thread count, but per-item
+        // output flattened in order is chunk-invariant, so results stay
+        // bit-identical.
         let items: Vec<f64> = (0..9000).map(|i| 1.0 / (i as f64 + 0.7)).collect();
         let base: Vec<u64> = map_auto(&items, 1, |&x| (x * 3.0).to_bits());
         for threads in [0, 2, 4, 7] {
@@ -243,11 +387,11 @@ mod tests {
     }
 
     #[test]
-    fn map_preserves_order_for_all_thread_counts() {
+    fn map_auto_preserves_order_for_all_thread_counts() {
         let items: Vec<u64> = (0..1000).collect();
         let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
         for threads in [0, 1, 2, 4, 7] {
-            let got = map(&items, 17, threads, |&x| x * x);
+            let got = map_auto(&items, threads, |&x| x * x);
             assert_eq!(got, expect, "threads = {threads}");
         }
     }
@@ -330,7 +474,7 @@ mod tests {
     #[test]
     fn empty_input() {
         let items: Vec<u32> = Vec::new();
-        assert!(map(&items, 8, 4, |&x| x).is_empty());
+        assert!(map_auto(&items, 4, |&x| x).is_empty());
         assert!(map_chunks(&items, 8, 4, |c| c.len()).is_empty());
     }
 
@@ -338,11 +482,58 @@ mod tests {
     fn worker_panic_propagates() {
         let items: Vec<u32> = (0..64).collect();
         let result = std::panic::catch_unwind(|| {
-            map(&items, 4, 4, |&x| {
+            map_auto(&items, 4, |&x| {
                 assert!(x != 33, "boom on {x}");
                 x
             })
         });
         assert!(result.is_err(), "panic swallowed by the executor");
+    }
+
+    #[test]
+    fn pool_survives_worker_panic() {
+        // A panicking job must not kill its pool worker: later maps on
+        // the same pool still complete and stay correct.
+        let items: Vec<u32> = (0..64).collect();
+        for _ in 0..3 {
+            let result = std::panic::catch_unwind(|| {
+                map_chunks(&items, 4, 4, |c| {
+                    assert!(c[0] != 32, "boom");
+                    c.len()
+                })
+            });
+            assert!(result.is_err());
+            let ok = map_chunks(&items, 4, 4, |c| c.iter().sum::<u32>());
+            assert_eq!(ok.iter().sum::<u32>(), (0..64).sum::<u32>());
+        }
+    }
+
+    #[test]
+    fn pool_persists_and_grows_monotonically() {
+        let items: Vec<u32> = (0..256).collect();
+        let _ = map_chunks(&items, 16, 3, |c| c.len());
+        let after_first = pool_size();
+        // Other tests share the global pool, so only monotone claims are
+        // race-free: the first 3-thread map leaves >= 2 workers parked,
+        // and repeat calls never shrink or rebuild the pool.
+        assert!(after_first >= 2, "pool has {after_first} workers");
+        let _ = map_chunks(&items, 16, 3, |c| c.len());
+        let _ = map_chunks(&items, 16, 2, |c| c.len());
+        assert!(pool_size() >= after_first);
+    }
+
+    #[test]
+    fn nested_maps_run_inline_without_deadlock() {
+        // A map inside a map must not dispatch helpers (they would queue
+        // behind the outer job on the same worker). The inline fallback
+        // keeps results identical.
+        let outer: Vec<u32> = (0..8).collect();
+        let got = map_chunks(&outer, 1, 4, |c| {
+            let inner: Vec<u32> = (0..100).collect();
+            let sums = map_chunks(&inner, 10, 4, |ic| ic.iter().sum::<u32>());
+            c[0] as usize + sums.len()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| i + 10).collect();
+        assert_eq!(got, expect);
     }
 }

@@ -102,45 +102,77 @@ fn closeness_exact_msbfs_bit_identical() {
     }
 }
 
+/// All-sources msbfs fan-out through the pool executor — one 64-source
+/// lane batch per chunk — returning merged per-level pair counts.
+/// Integer-valued, so any divergence (scheduling or layout) is exact.
+fn msbfs_level_pairs(g: &netgraph::Graph, threads: usize) -> Vec<u64> {
+    use netgraph::{msbfs, par, with_msbfs, FullView};
+
+    let sources: Vec<netgraph::NodeId> = g.nodes().collect();
+    // Pool jobs are 'static: the closure owns its CSR clone.
+    let g_owned = g.clone();
+    let per_chunk = par::map_chunks(&sources, msbfs::LANES, threads, move |batch| {
+        let mut levels = Vec::new();
+        with_msbfs(|arena| {
+            arena.run(FullView::new(&g_owned), batch, u32::MAX, |wf| {
+                let l = wf.level() as usize;
+                if levels.len() <= l {
+                    levels.resize(l + 1, 0u64);
+                }
+                levels[l] += wf.new_pairs();
+            });
+        });
+        levels
+    });
+    let mut merged = Vec::new();
+    for levels in per_chunk {
+        if merged.len() < levels.len() {
+            merged.resize(levels.len(), 0u64);
+        }
+        for (slot, v) in merged.iter_mut().zip(levels) {
+            *slot += v;
+        }
+    }
+    merged
+}
+
 #[test]
 fn msbfs_batch_fanout_bit_identical() {
     // Drive the kernel directly through the deterministic executor the
-    // way the library consumers do — one 64-source batch per chunk —
-    // and require the merged per-level pair counts to be bit-identical
-    // at every thread count.
-    use netgraph::{msbfs, par, with_msbfs, FullView};
-
+    // way the library consumers do and require the merged per-level pair
+    // counts to be bit-identical at every thread count.
     let g = graph();
-    let sources: Vec<netgraph::NodeId> = g.nodes().collect();
-    let run = |threads: usize| -> Vec<u64> {
-        let per_chunk = par::map_chunks(&sources, msbfs::LANES, threads, |batch| {
-            let mut levels = Vec::new();
-            with_msbfs(|arena| {
-                arena.run(FullView::new(&g), batch, u32::MAX, |wf| {
-                    let l = wf.level() as usize;
-                    if levels.len() <= l {
-                        levels.resize(l + 1, 0u64);
-                    }
-                    levels[l] += wf.new_pairs();
-                });
-            });
-            levels
-        });
-        let mut merged = Vec::new();
-        for levels in per_chunk {
-            if merged.len() < levels.len() {
-                merged.resize(levels.len(), 0u64);
-            }
-            for (slot, v) in merged.iter_mut().zip(levels) {
-                *slot += v;
-            }
-        }
-        merged
-    };
-    let want = run(1);
+    let want = msbfs_level_pairs(&g, 1);
     assert!(want.iter().sum::<u64>() > 0, "traversal reached something");
     for t in THREADS {
-        assert_eq!(run(t), want, "msbfs fan-out diverged at threads={t}");
+        assert_eq!(
+            msbfs_level_pairs(&g, t),
+            want,
+            "msbfs fan-out diverged at threads={t}"
+        );
+    }
+}
+
+#[test]
+fn msbfs_permuted_layout_bit_identical() {
+    // The cache-aware degree-descending relabeling changes memory layout
+    // only: per-level reachable-pair counts are relabeling-invariant, so
+    // the permuted CSR must reproduce the original curve bit-for-bit at
+    // every thread count. The permutation also has to pass its own audit.
+    use netgraph::Validate;
+
+    let g = graph();
+    let perm = g.permute_by_degree();
+    let cert = perm.audit();
+    assert!(cert.is_ok(), "permutation certificate failed: {cert:?}");
+
+    let want = msbfs_level_pairs(&g, 1);
+    for t in THREADS {
+        assert_eq!(
+            msbfs_level_pairs(perm.graph(), t),
+            want,
+            "permuted-CSR msbfs diverged at threads={t}"
+        );
     }
 }
 

@@ -1,0 +1,136 @@
+//! Property tests of the cache-aware CSR permutation
+//! ([`Graph::permute_by_degree`]): the degree-descending relabeling must
+//! be a bijection whose round-trip maps ids faithfully through all four
+//! [`GraphView`]s — the neighborhood any view exposes at an original id
+//! equals, under the mapping, the neighborhood the corresponding view
+//! over the permuted graph exposes at the permuted id.
+
+use netgraph::{
+    undirected_key, DominatedView, FullView, Graph, GraphBuilder, GraphView, InducedView,
+    MaskedView, NodeId, NodeSet, Permuted,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet};
+
+fn arb_edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+fn build(n: u32, edges: &[(u32, u32)]) -> Graph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    b.build()
+}
+
+fn node_set(n: usize, ids: &HashSet<u32>) -> NodeSet {
+    NodeSet::from_iter_with_capacity(n, ids.iter().map(|&i| NodeId(i)))
+}
+
+fn neighbors_of<V: GraphView>(view: &V, v: NodeId) -> BTreeSet<u32> {
+    let mut out = BTreeSet::new();
+    view.for_each_neighbor(v, |w| {
+        out.insert(w.0);
+    });
+    out
+}
+
+/// Every original id must see the same membership and (mapped back) the
+/// same neighborhood through `perm_view` as through `orig`.
+fn assert_view_round_trip<VO: GraphView, VP: GraphView>(
+    orig: &VO,
+    perm_view: &VP,
+    p: &Permuted,
+    label: &str,
+) {
+    for raw in 0..orig.node_count() as u32 {
+        let v = NodeId(raw);
+        let new = p.to_new(v);
+        assert_eq!(p.to_old(new), v, "{label}: id round trip broke at {v}");
+        assert_eq!(
+            orig.contains_node(v),
+            perm_view.contains_node(new),
+            "{label}: membership diverged at {v}"
+        );
+        let want = neighbors_of(orig, v);
+        let got: BTreeSet<u32> = neighbors_of(perm_view, new)
+            .into_iter()
+            .map(|w| p.to_old(NodeId(w)).0)
+            .collect();
+        assert_eq!(want, got, "{label}: neighborhood diverged at {v}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn permutation_round_trips_ids_on_all_four_views(
+        edges in arb_edges(48, 160),
+        brokers in proptest::collection::hash_set(0u32..48, 1..20),
+        allowed in proptest::collection::hash_set(0u32..48, 1..30),
+        failed in proptest::collection::hash_set(0u32..48, 0..10),
+    ) {
+        let g = build(48, &edges);
+        let p = g.permute_by_degree();
+        let n = g.node_count();
+
+        // The mappings are mutually inverse bijections and the permuted
+        // graph is the same graph up to relabeling.
+        for v in g.nodes() {
+            prop_assert_eq!(p.to_old(p.to_new(v)), v);
+            prop_assert_eq!(g.degree(v), p.graph().degree(p.to_new(v)));
+        }
+        prop_assert_eq!(p.graph().node_count(), n);
+        prop_assert_eq!(p.graph().edge_count(), g.edge_count());
+
+        let brokers_o = node_set(n, &brokers);
+        let allowed_o = node_set(n, &allowed);
+        let failed_o = node_set(n, &failed);
+        let brokers_p = p.map_set(&brokers_o);
+        let allowed_p = p.map_set(&allowed_o);
+        let failed_p = p.map_set(&failed_o);
+        let failed_edges_o: BTreeSet<(u32, u32)> = g
+            .edges()
+            .take(5)
+            .map(|(u, v)| undirected_key(u, v))
+            .collect();
+        let failed_edges_p: BTreeSet<(u32, u32)> = g
+            .edges()
+            .take(5)
+            .map(|(u, v)| undirected_key(p.to_new(u), p.to_new(v)))
+            .collect();
+
+        assert_view_round_trip(&FullView::new(&g), &FullView::new(p.graph()), &p, "full");
+        assert_view_round_trip(
+            &DominatedView::new(&g, &brokers_o),
+            &DominatedView::new(p.graph(), &brokers_p),
+            &p,
+            "dominated",
+        );
+        assert_view_round_trip(
+            &InducedView::new(&g, &allowed_o),
+            &InducedView::new(p.graph(), &allowed_p),
+            &p,
+            "induced",
+        );
+        assert_view_round_trip(
+            &MaskedView::new(FullView::new(&g), Some(&failed_o), Some(&failed_edges_o)),
+            &MaskedView::new(FullView::new(p.graph()), Some(&failed_p), Some(&failed_edges_p)),
+            &p,
+            "masked",
+        );
+    }
+
+    #[test]
+    fn unpermute_round_trips_per_node_vectors(edges in arb_edges(32, 80)) {
+        let g = build(32, &edges);
+        let p = g.permute_by_degree();
+        let per_old: Vec<u32> = (0..g.node_count() as u32).collect();
+        let per_new: Vec<u32> = (0..g.node_count())
+            .map(|new| per_old[p.to_old(NodeId(new as u32)).index()])
+            .collect();
+        prop_assert_eq!(p.unpermute(&per_new), per_old);
+    }
+}

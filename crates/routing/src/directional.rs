@@ -78,13 +78,16 @@ pub fn directional_connectivity_threaded(
     };
     // Chunk-invariant per-source map: adaptive chunk sizing is safe here
     // (each item yields an independent f64; the ordered flatten makes the
-    // output identical for every thread count).
-    let fractions: Vec<f64> = par::map_auto(&sources, threads, |&s| {
+    // output identical for every thread count). Pool jobs are 'static:
+    // the closure owns one policy-graph (and broker-set) clone.
+    let pg_owned = pg.clone();
+    let brokers_owned: Option<NodeSet> = brokers.cloned();
+    let fractions: Vec<f64> = par::map_auto(&sources, threads, move |&s| {
         let reach = valley_free_reach(
-            pg,
+            &pg_owned,
             s,
             ReachOptions {
-                brokers,
+                brokers: brokers_owned.as_ref(),
                 alliance: None,
                 max_hops: None,
             },

@@ -18,6 +18,7 @@
 //! | R10  | library code of the product crates | float reductions in threaded paths confined to the blessed chunk-ordered reducers (`par::map_reduce`, `par::sum_f64`) |
 //! | R11  | library code of the product crates | `Ordering::Relaxed` confined to `netgraph/src/obs.rs` — everything else uses `SeqCst` |
 //! | R12  | workspace symbol table | every pub constructor-bearing product type carries an `impl Validate` certificate |
+//! | R13  | library code of the product crates | no `thread::spawn` / `thread::scope` / `thread::Builder` outside `netgraph/src/par.rs` — parallelism goes through the pool executor |
 //!
 //! Existing violations are burned down, not bulk-suppressed: each one
 //! needs an entry in `crates/xtask/lint.allow` (`rule|path|substring`),
@@ -237,7 +238,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
 
 /// [`lint_workspace`] with an explicit allowlist (test hook).
 ///
-/// Two phases: a per-file pass (R1-R11) that also folds every file's
+/// Two phases: a per-file pass (R1-R11, R13) that also folds every file's
 /// item tree into the workspace symbol table, then the symbol-table
 /// pass (R12: pub constructor-bearing product types without a
 /// `Validate` impl). Violations are reported in (path, line, rule)

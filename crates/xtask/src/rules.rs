@@ -1,4 +1,4 @@
-//! The R1-R12 rule set and per-file checking.
+//! The R1-R13 rule set and per-file checking.
 //!
 //! R1-R8 are token-level rewrites of the original line rules (strictly
 //! fewer false negatives: `.unwrap ()` with interior whitespace, renamed
@@ -9,6 +9,8 @@
 //! confined to the observability layer. R12 is a workspace rule (every
 //! pub constructor-bearing product type needs a `Validate` impl) checked
 //! by [`crate::symbols::SymbolTable`] after all files are absorbed.
+//! R13 confines thread creation (`thread::spawn` / `thread::scope` /
+//! `thread::Builder`) to the pool executor in `netgraph/src/par.rs`.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -63,12 +65,18 @@ pub enum Rule {
     /// `impl Validate` somewhere in the workspace, so the certificate
     /// chain (`debug_validate`) covers it.
     ValidateCoverage,
+    /// No `thread::spawn` / `thread::scope` / `thread::Builder` in
+    /// product library code outside `netgraph/src/par.rs`: ad-hoc
+    /// threads bypass the persistent worker pool (losing its warm
+    /// traversal arenas and determinism counters) and reintroduce
+    /// scheduling-ordered merges the executor exists to prevent.
+    NoAdhocThreads,
 }
 
 impl Rule {
     /// Every rule, in id order (used by the SARIF rules array and
     /// `--explain` listings).
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 13] = [
         Rule::NoUnwrap,
         Rule::NoUnseededRng,
         Rule::CrateRootHygiene,
@@ -81,9 +89,10 @@ impl Rule {
         Rule::UnorderedFloatMerge,
         Rule::NoRelaxedOrdering,
         Rule::ValidateCoverage,
+        Rule::NoAdhocThreads,
     ];
 
-    /// Short stable identifier (`R1`..`R12`) used in reports and allowlists.
+    /// Short stable identifier (`R1`..`R13`) used in reports and allowlists.
     pub fn id(self) -> &'static str {
         match self {
             Rule::NoUnwrap => "R1",
@@ -98,6 +107,7 @@ impl Rule {
             Rule::UnorderedFloatMerge => "R10",
             Rule::NoRelaxedOrdering => "R11",
             Rule::ValidateCoverage => "R12",
+            Rule::NoAdhocThreads => "R13",
         }
     }
 
@@ -136,6 +146,9 @@ impl Rule {
             }
             Rule::ValidateCoverage => {
                 "pub constructor-bearing product types need an impl Validate certificate"
+            }
+            Rule::NoAdhocThreads => {
+                "no thread::spawn/scope/Builder outside netgraph/src/par.rs (use the pool executor)"
             }
         }
     }
@@ -237,7 +250,7 @@ impl Rule {
                  f64 addition is not associative: merging per-chunk partials\n\
                  in scheduling order makes results differ across thread\n\
                  counts. Any function that touches the parallel machinery\n\
-                 (par::map_chunks/par::map/thread::spawn) must route float\n\
+                 (par::map_chunks/par::map_auto/thread::spawn) must route float\n\
                  accumulation through the blessed reducers in netgraph::par —\n\
                  map_reduce folds partials in chunk-index order, sum_f64 is a\n\
                  fixed left fold — rather than += / .sum::<f64>() / .fold(0.0)\n\
@@ -270,6 +283,20 @@ impl Rule {
                  Fix: implement Validate with real invariants (not an empty\n\
                  report) next to the type, and call debug_validate in its\n\
                  constructor or mutation points."
+            }
+            Rule::NoAdhocThreads => {
+                "R13 NoAdhocThreads\n\
+                 thread::spawn / thread::scope / thread::Builder in product\n\
+                 library code creates workers the pool executor does not\n\
+                 know about: they start cold (no warm TraversalArena or\n\
+                 msbfs scratch from the thread-local pools), they skip the\n\
+                 par.jobs/par.chunks accounting the determinism suite pins,\n\
+                 and any merge of their results is ordered by the OS\n\
+                 scheduler rather than by chunk index. netgraph/src/par.rs\n\
+                 owns thread creation; everything else expresses\n\
+                 parallelism as map_chunks/map_auto/map_reduce jobs.\n\
+                 Fix: route the fan-out through netgraph::par, or justify\n\
+                 an allowlist entry for genuinely pool-incompatible work."
             }
         }
     }
@@ -335,7 +362,7 @@ fn is_crate_root(path: &str) -> bool {
 /// Per-file analysis output: the violations plus the item tree (the
 /// workspace pass feeds the tree to the symbol table for R12).
 pub struct FileAnalysis {
-    /// Violations found in this file (R1-R11; R12 is workspace-level).
+    /// Violations found in this file (R1-R11, R13; R12 is workspace-level).
     pub violations: Vec<Violation>,
     /// The file's item tree.
     pub tree: ItemTree,
@@ -466,6 +493,20 @@ pub fn analyze_file(path: &str, text: &str) -> FileAnalysis {
         // R11: relaxed atomics are an obs-layer privilege.
         if product && !in_test && path != "crates/netgraph/src/obs.rs" && t.text == "Relaxed" {
             push!(Rule::NoRelaxedOrdering, t.line);
+        }
+
+        // R13: thread creation is a pool-executor privilege. Matches
+        // `thread::spawn`, `thread::scope` and `thread::Builder` (incl.
+        // the `std::thread::...` spelling — the `thread` segment is the
+        // one before the final `::`).
+        if product
+            && !in_test
+            && path != "crates/netgraph/src/par.rs"
+            && prev_is("::")
+            && i.checked_sub(2).is_some_and(|p| toks[p].is_ident("thread"))
+            && matches!(t.text.as_str(), "spawn" | "scope" | "Builder")
+        {
+            push!(Rule::NoAdhocThreads, t.line);
         }
     }
 
@@ -725,7 +766,7 @@ fn for_loop_iterates_hash(toks: &[Tok], for_idx: usize, marked: &BTreeSet<String
 
 /// Calls whose argument spans are exempt from R10: chunk-local
 /// accumulation inside the blessed reducers is deterministic.
-const BLESSED_REDUCERS: [&str; 3] = ["map_chunks", "map_reduce", "sum_f64"];
+const BLESSED_REDUCERS: [&str; 4] = ["map_chunks", "map_auto", "map_reduce", "sum_f64"];
 
 /// R10: fire on float accumulation outside blessed-reducer argument
 /// spans, in any fn whose body touches the parallel machinery.
@@ -805,9 +846,6 @@ fn has_par_usage(body: &[Tok]) -> bool {
             body.get(i + 1).is_some_and(|n| n.is_punct(a))
                 && body.get(i + 2).is_some_and(|n| n.is_ident(b))
         };
-        if t.text == "par" && (follows("::", "map")) {
-            return true;
-        }
         if t.text == "thread" && (follows("::", "spawn") || follows("::", "scope")) {
             return true;
         }
@@ -829,11 +867,7 @@ fn blessed_spans(
         if t.kind != TokKind::Ident {
             continue;
         }
-        let is_blessed = BLESSED_REDUCERS.contains(&t.text.as_str())
-            || (t.text == "map"
-                && i >= 2
-                && toks[i - 1].is_punct("::")
-                && toks[i - 2].is_ident("par"));
+        let is_blessed = BLESSED_REDUCERS.contains(&t.text.as_str());
         if is_blessed && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
             if let Some(close) = close_of[i + 1] {
                 spans.push((i + 1, close));
@@ -1194,10 +1228,10 @@ pub fn betweenness(threads: usize) -> Vec<f64> {
             "{v:?}"
         );
 
-        // `.sum::<f64>()` in a fn that uses par::map.
+        // `.sum::<f64>()` in a fn that uses par::map_auto.
         let src = "\
 pub fn conn(threads: usize) -> f64 {
-    let fractions: Vec<f64> = par::map(&nodes, threads, |n| frac(n));
+    let fractions: Vec<f64> = par::map_auto(&nodes, threads, |n| frac(n));
     fractions.iter().sum::<f64>() / fractions.len() as f64
 }
 ";
@@ -1225,7 +1259,7 @@ pub fn betweenness(threads: usize) -> Vec<f64> {
         // sum via the blessed helper: clean.
         let src = "\
 pub fn conn(threads: usize) -> f64 {
-    let fractions: Vec<f64> = par::map(&nodes, threads, |n| frac(n));
+    let fractions: Vec<f64> = par::map_auto(&nodes, threads, |n| frac(n));
     par::sum_f64(&fractions) / fractions.len() as f64
 }
 ";
@@ -1246,7 +1280,7 @@ pub fn mean(xs: &[f64]) -> f64 {
         // Integer accumulation in a threaded fn is order-safe.
         let src = "\
 pub fn count(threads: usize) -> u64 {
-    let parts = par::map(&nodes, threads, |n| hits(n));
+    let parts = par::map_auto(&nodes, threads, |n| hits(n));
     let mut total = 0u64;
     for p in parts { total += p; }
     total
@@ -1275,6 +1309,35 @@ pub fn count(threads: usize) -> u64 {
         let src = "let x = counter.fetch_add(1, Ordering::SeqCst);";
         let v = check_file("crates/netgraph/src/par.rs", src);
         assert!(v.iter().all(|v| v.rule != Rule::NoRelaxedOrdering));
+    }
+
+    #[test]
+    fn r13_confines_thread_creation_to_par() {
+        for src in [
+            "pub fn f() { std::thread::spawn(|| ()); }",
+            "pub fn f() { thread::scope(|s| { s.spawn(|| ()); }); }",
+            "pub fn f() { let b = std::thread::Builder::new(); drop(b); }",
+        ] {
+            let v = check_file("crates/brokerset/src/x.rs", src);
+            assert!(v.iter().any(|v| v.rule == Rule::NoAdhocThreads), "{src}");
+            // The pool executor owns thread creation.
+            let v = check_file("crates/netgraph/src/par.rs", src);
+            assert!(v.iter().all(|v| v.rule != Rule::NoAdhocThreads), "{src}");
+            // Bins and support crates are out of scope.
+            let v = check_file("src/bin/cli.rs", src);
+            assert!(v.iter().all(|v| v.rule != Rule::NoAdhocThreads), "{src}");
+            let v = check_file("crates/xtask/src/x.rs", src);
+            assert!(v.iter().all(|v| v.rule != Rule::NoAdhocThreads), "{src}");
+        }
+        // Test modules inside product files may spawn freely.
+        let src = "#[cfg(test)]\nmod t { fn f() { std::thread::spawn(|| ()); } }";
+        let v = check_file("crates/brokerset/src/x.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoAdhocThreads));
+        // Unrelated idents named spawn/scope without the thread path
+        // segment do not fire.
+        let src = "pub fn f() { pool.spawn(|| ()); tracing::scope(); }";
+        let v = check_file("crates/brokerset/src/x.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoAdhocThreads));
     }
 
     #[test]

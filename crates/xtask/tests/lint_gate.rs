@@ -79,8 +79,9 @@ fn seeded_violations_fail_the_binary() {
     .expect("seeded source");
 
     // det.rs violates the determinism rules: R9 (hash iteration), R10
-    // (float sum in a thread-spawning fn), R11 (Relaxed outside obs.rs)
-    // and R12 (pub constructor-bearing type without a Validate impl).
+    // (float sum in a thread-spawning fn), R11 (Relaxed outside obs.rs),
+    // R12 (pub constructor-bearing type without a Validate impl) and R13
+    // (the same std::thread::spawn, outside netgraph/src/par.rs).
     std::fs::write(
         src.join("det.rs"),
         "use std::collections::HashMap;\n\
@@ -127,7 +128,7 @@ fn seeded_violations_fail_the_binary() {
         "seeded tree must fail the lint, got:\n{stdout}"
     );
     for rule in [
-        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12",
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13",
     ] {
         // Word-boundary match: `R1` must not be satisfied by `R10`.
         let hit = stdout.lines().any(|l| {
