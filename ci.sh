@@ -97,6 +97,15 @@ run cargo test --offline -q -p netgraph --test delta_props --features obs
 run cargo test --offline -q -p brokerset --test incremental_diff
 run cargo test --offline -q -p brokerset --test incremental_diff --features obs
 
+# Query-plane gate: the reachability index must answer exactly like the
+# independent BFS oracle on random graphs under random fault schedules
+# and topology deltas (property-tested), and the brokerd wire protocol
+# must survive malformed frames with clean error replies. Both feature
+# states for the index: obs counters must never perturb answers.
+run cargo test --offline -q -p brokerset --test index_props
+run cargo test --offline -q -p brokerset --test index_props --features obs
+run cargo test --offline -q -p broker-net --test proto_server
+
 # Observability gates: the obs contract suite in both feature states
 # (macro unit-expansion, bucket math, thread-count-invariant snapshots),
 # the economics axioms, and the golden result snapshots (table3, fig2a,
@@ -135,5 +144,31 @@ if [ "$checksum_default" != "$checksum_obs" ]; then
     exit 1
 fi
 echo "==> quarter-scale perf smoke passed (checksum $checksum_default)"
+
+# Serve smoke gate: a real brokerd on an ephemeral port, driven by the
+# serve_bench client in attach mode — 10k queries over TCP whose answer
+# checksum must equal the client's own exact (BFS-oracle) evaluation.
+echo "==> serve smoke: brokerd + serve_bench --attach" >&2
+cargo build --offline --release -q -p bench --bins
+brokerd_log="$(mktemp)"
+./target/release/brokerd tiny 7 --port 0 >"$brokerd_log" 2>&1 &
+brokerd_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^brokerd: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$brokerd_log")
+    [ -n "$port" ] && break
+    kill -0 "$brokerd_pid" 2>/dev/null || { cat "$brokerd_log" >&2; exit 1; }
+    sleep 0.2
+done
+if [ -z "$port" ]; then
+    echo "==> brokerd never reported a listening port:" >&2
+    cat "$brokerd_log" >&2
+    kill "$brokerd_pid" 2>/dev/null || true
+    exit 1
+fi
+run ./target/release/serve_bench tiny 7 --queries 10000 --attach "$port"
+wait "$brokerd_pid"
+rm -f "$brokerd_log"
+echo "==> serve smoke passed (port $port)"
 
 echo "==> CI gate passed"

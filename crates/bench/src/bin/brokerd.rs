@@ -1,0 +1,115 @@
+//! `brokerd` — the query-plane daemon: serves hop-bounded stitch
+//! queries from a [`brokerset::ReachIndex`] over the length-prefixed
+//! binary protocol in [`broker_net::proto`] (`HELLO` / `QUERY` /
+//! `BATCH` / `STATS` / `SHUTDOWN`; see `DESIGN.md` §10).
+//!
+//! ```sh
+//! # Build the index in-process from the scaled synthetic topology:
+//! cargo run --release -p bench --bin brokerd -- tiny 7 --port 0
+//! # Or serve a prebuilt BRI1 blob (see `broker_cli index build`):
+//! cargo run --release -p bench --bin brokerd -- --index idx.bri --port 7700
+//! ```
+//!
+//! With `--port 0` (the default) the kernel picks an ephemeral port;
+//! the daemon always announces the bound port on stdout as
+//!
+//! ```text
+//! brokerd: listening on 127.0.0.1:<port>
+//! ```
+//!
+//! which is the line scripts (`ci.sh`'s serve smoke, the golden-session
+//! test) parse to find it. Connections are served one thread each;
+//! batch frames inside a connection fan out on the persistent
+//! `netgraph::par` worker pool at `--threads N`. A `SHUTDOWN` frame
+//! from any client stops the accept loop and exits cleanly after
+//! printing the serving counters.
+
+use bench::{ArgExtras, RunConfig};
+use broker_net::proto::{self, ServeCounters};
+use brokerset::{max_subgraph_greedy, ReachIndex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Hop cap baked into in-process builds — matches the paper's l <= 6
+/// evaluation horizon (and `serve_bench`, so checksums line up).
+const MAX_L: usize = 6;
+
+fn main() {
+    let (rc, _) = RunConfig::from_args_extended(ArgExtras::default(), "");
+    let t0 = Instant::now();
+    let index = match &rc.index {
+        Some(path) => match ReachIndex::load(path) {
+            Ok(idx) => {
+                println!("brokerd: loaded index from {}", path.display());
+                idx
+            }
+            Err(e) => {
+                eprintln!("error: loading index {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let net = rc.internet();
+            let g = net.graph();
+            let budget = rc.budgets(g.node_count())[1];
+            let sel = max_subgraph_greedy(g, budget);
+            ReachIndex::build(g, sel.brokers(), MAX_L, rc.threads)
+        }
+    };
+    println!(
+        "brokerd: index ready in {:.2}s ({} nodes, {} brokers, max_l {}, epoch {})",
+        t0.elapsed().as_secs_f64(),
+        index.node_count(),
+        index.broker_count(),
+        index.max_l(),
+        index.epoch()
+    );
+
+    let index = Arc::new(index);
+    let counters = Arc::new(ServeCounters::new());
+    let listener = proto::Listener::bind(rc.port.unwrap_or(0)).expect("bind listener");
+    let port = listener.port().expect("bound port");
+    println!("brokerd: listening on 127.0.0.1:{port}");
+
+    // SHUTDOWN protocol: the connection thread that receives the frame
+    // raises the stop flag, then opens a throwaway connection to wake
+    // the accept loop out of its blocking accept.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    loop {
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                eprintln!("brokerd: accept failed: {e}");
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let index = Arc::clone(&index);
+        let counters = Arc::clone(&counters);
+        let stop = Arc::clone(&stop);
+        let threads = rc.threads;
+        workers.push(std::thread::spawn(move || {
+            match proto::serve(conn, &index, &counters, threads) {
+                Ok(true) => {
+                    stop.store(true, Ordering::SeqCst);
+                    let _ = proto::Conn::connect(port);
+                }
+                Ok(false) => {}
+                Err(e) => eprintln!("brokerd: connection error: {e}"),
+            }
+        }));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    let stats = counters.snapshot(&index);
+    println!(
+        "brokerd: bye ({} queries, {} hits, {} batch frames)",
+        stats.queries_served, stats.hits, stats.batches
+    );
+    rc.dump_obs("brokerd").expect("--obs write failed");
+}

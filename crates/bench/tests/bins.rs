@@ -7,6 +7,7 @@
 //! silently shifting results. Regenerate after an *intentional* change
 //! with `UPDATE_GOLDENS=1 cargo test -p bench --test bins golden`.
 
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -256,6 +257,174 @@ fn ext_evolve_matches_golden_snapshot() {
         env!("CARGO_BIN_EXE_ext_evolve"),
         "ext_evolve",
         &["tiny", "7", "--threads", "2"],
+    );
+}
+
+#[test]
+fn serve_bench_matches_golden_snapshot() {
+    // serve_bench writes BENCH_serve.json into its CWD, so run it from
+    // the temp dir; the --record payload is timing-free (counts,
+    // checksums and digests only), which is what the golden pins.
+    let tmp = std::env::temp_dir().join(format!("bench-golden-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
+    let tmp_str = tmp.to_str().expect("temp dir path is UTF-8");
+    let out = Command::new(env!("CARGO_BIN_EXE_serve_bench"))
+        .args([
+            "tiny",
+            "7",
+            "--queries",
+            "4000",
+            "--threads",
+            "2",
+            "--record",
+            tmp_str,
+        ])
+        .current_dir(&tmp)
+        .output()
+        .expect("spawn serve_bench");
+    assert!(
+        out.status.success(),
+        "serve_bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got_text = std::fs::read_to_string(tmp.join("serve_bench.tiny.json"))
+        .expect("serve_bench record exists");
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let golden_path = goldens_dir().join("serve_bench.tiny.json");
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(goldens_dir()).expect("create goldens dir");
+        std::fs::write(&golden_path, &got_text).expect("write golden");
+        eprintln!("updated {}", golden_path.display());
+        return;
+    }
+    let want_text = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with UPDATE_GOLDENS=1",
+            golden_path.display()
+        )
+    });
+    let got: serde_json::Value = serde_json::from_str(&got_text).expect("recorded JSON parses");
+    let want: serde_json::Value = serde_json::from_str(&want_text).expect("golden JSON parses");
+    assert_json_close("serve_bench", &got, &want);
+}
+
+#[test]
+fn serve_bench_golden_rejects_perturbed_hit_rate() {
+    // The serve golden must bite on its own floats too: nudge the
+    // recorded hit rate past REL_EPS and the comparison must panic.
+    let golden_path = goldens_dir().join("serve_bench.tiny.json");
+    let text = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e})", golden_path.display()));
+    let want: serde_json::Value = serde_json::from_str(&text).expect("golden JSON parses");
+    let mut got = want.clone();
+    let serde_json::Value::Object(entries) = &mut got else {
+        panic!("golden root is not an object");
+    };
+    let data = entries
+        .iter_mut()
+        .find(|(k, _)| k == "data")
+        .map(|(_, v)| v)
+        .expect("golden has a data field");
+    let serde_json::Value::Object(data) = data else {
+        panic!("golden data is not an object");
+    };
+    let rate = data
+        .iter_mut()
+        .find(|(k, _)| k == "hit_rate")
+        .map(|(_, v)| v)
+        .expect("golden records a hit rate");
+    let serde_json::Value::Float(f) = rate else {
+        panic!("hit rate is not a float");
+    };
+    *f += 1e-6;
+    let panicked =
+        std::panic::catch_unwind(|| assert_json_close("serve_bench", &got, &want)).is_err();
+    assert!(panicked, "a 1e-6 perturbation must fail the serve golden");
+}
+
+#[test]
+fn brokerd_scripted_session_matches_golden() {
+    // Drive a fixed request script against a real brokerd process and
+    // pin the Debug rendering of every reply. The transcript is fully
+    // deterministic (tiny scale, fixed seed, scripted order), so it
+    // doubles as a wire-compatibility golden: any change to opcodes,
+    // field layouts or reply semantics shows up as a diff here.
+    use broker_net::proto::{Conn, Request};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_brokerd"))
+        .args(["tiny", "7", "--port", "0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn brokerd");
+    let stdout = child.stdout.take().expect("brokerd stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let port: u16 = loop {
+        let line = lines
+            .next()
+            .expect("brokerd exited before listening")
+            .expect("read brokerd stdout");
+        if let Some(rest) = line.strip_prefix("brokerd: listening on 127.0.0.1:") {
+            break rest.parse().expect("port parses");
+        }
+    };
+    // Keep draining stdout so brokerd never blocks on a full pipe.
+    let drain = std::thread::spawn(move || for _ in lines.by_ref() {});
+
+    let mut conn = Conn::connect(port).expect("connect to brokerd");
+    let mut transcript = String::new();
+    let script: &[(&str, Request)] = &[
+        ("hello", Request::Hello),
+        ("query-hit", Request::Query { s: 0, t: 1, l: 6 }),
+        (
+            "query-miss",
+            Request::Query {
+                s: 0,
+                t: 9_999_999,
+                l: 6,
+            },
+        ),
+        (
+            "batch",
+            Request::Batch(vec![(0, 1, 6), (1, 0, 1), (2, 2, 3)]),
+        ),
+        ("stats", Request::Stats),
+    ];
+    for (label, req) in script {
+        let reply = conn.request(req).expect("scripted request");
+        transcript.push_str(&format!("{label}: {reply:?}\n"));
+    }
+    // One raw malformed frame mid-session: the error reply is part of
+    // the pinned wire behaviour.
+    conn.send_raw(&[1, 0, 0, 0, 0x7f]).expect("send bad opcode");
+    let reply = conn
+        .read_response()
+        .expect("error reply")
+        .expect("connection stays open");
+    transcript.push_str(&format!("bad-opcode: {reply:?}\n"));
+    let bye = conn.request(&Request::Shutdown).expect("shutdown");
+    transcript.push_str(&format!("shutdown: {bye:?}\n"));
+    drop(conn);
+    let status = child.wait().expect("brokerd exit status");
+    assert!(status.success(), "brokerd exited with {status}");
+    drain.join().expect("drain thread");
+
+    let golden_path = goldens_dir().join("brokerd_session.txt");
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(goldens_dir()).expect("create goldens dir");
+        std::fs::write(&golden_path, &transcript).expect("write golden");
+        eprintln!("updated {}", golden_path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with UPDATE_GOLDENS=1",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        transcript, want,
+        "brokerd wire transcript diverged from golden"
     );
 }
 

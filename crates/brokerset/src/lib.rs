@@ -59,6 +59,7 @@ pub mod coverage;
 pub mod exact;
 pub mod greedy;
 pub mod incremental;
+pub mod index;
 pub mod lengthaware;
 pub mod localsearch;
 pub mod maxsg;
@@ -88,6 +89,10 @@ pub use greedy::{greedy_mcb, greedy_mcb_naive};
 pub use incremental::{
     BrokerMaintainer, CoverageIndex, EpochReport, MaintainConfig, MaintenanceCertificate,
     StabilityLedger,
+};
+pub use index::{
+    answers_checksum, exact_query, IndexCertificate, IndexCodecError, InvalidationReport,
+    ReachIndex, StitchAnswer,
 };
 pub use lengthaware::{select_with_length_constraint, LengthConstrainedSelection};
 pub use localsearch::{local_search_coverage, LocalSearchResult};

@@ -5,7 +5,7 @@
 
 use brokerset::{
     chaos_trace, chaos_trace_threaded, failure_trace, failure_trace_threaded, lhop_curve,
-    lhop_curve_parallel, max_subgraph_greedy, FailureOrder, SourceMode,
+    lhop_curve_parallel, max_subgraph_greedy, FailureOrder, ReachIndex, SourceMode,
 };
 use netgraph::{FaultGroup, FaultSchedule, NodeId};
 use topology::{InternetConfig, Scale};
@@ -145,6 +145,95 @@ fn chaos_trace_survives_schedule_save_load() {
     let before = chaos_trace_threaded(g, &sel, &schedule, Some(6), SourceMode::Exact, 4);
     let after = chaos_trace_threaded(g, &sel, &reloaded, Some(6), SourceMode::Exact, 4);
     assert_eq!(before, after, "reloaded schedule replays differently");
+}
+
+#[test]
+fn reach_index_build_bit_identical_across_threads_and_layouts() {
+    // The reachability index fans whole 64-broker shard batches out on
+    // the worker pool; its serialized bytes are the strongest equality
+    // currency (they cover every distance label, the roster, and the
+    // persisted fault sets), so pin them across thread counts AND
+    // across the degree-permuted CSR layout written back through the
+    // permutation.
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let sel = max_subgraph_greedy(g, 60);
+    let base = ReachIndex::build(g, sel.brokers(), 6, 1);
+    let base_bytes = base.to_bytes();
+    for t in THREADS {
+        let idx = ReachIndex::build(g, sel.brokers(), 6, t);
+        assert_eq!(
+            idx.to_bytes(),
+            base_bytes,
+            "index bytes diverged at threads={t}"
+        );
+    }
+    let perm = g.permute_by_degree();
+    for t in THREADS {
+        let idx = ReachIndex::build_permuted(&perm, sel.brokers(), 6, t);
+        assert_eq!(
+            idx.to_bytes(),
+            base_bytes,
+            "permuted-layout index bytes diverged at threads={t}"
+        );
+    }
+}
+
+#[test]
+fn reach_index_serialization_round_trips_byte_identically() {
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let sel = max_subgraph_greedy(g, 40);
+    let idx = ReachIndex::build(g, sel.brokers(), 6, 4);
+    let bytes = idx.to_bytes();
+    let back = ReachIndex::from_bytes(&bytes).expect("index decodes");
+    assert_eq!(back, idx, "decoded index differs structurally");
+    assert_eq!(back.to_bytes(), bytes, "re-encoding is not byte-identical");
+    // And the reloaded index answers identically, hits and misses both.
+    let n = g.node_count() as u32;
+    for (s, t) in [(0, n - 1), (3, 500 % n), (7, 7), (n - 1, 1), (11, 999 % n)] {
+        for l in [1usize, 3, 6] {
+            assert_eq!(
+                idx.query(NodeId(s), NodeId(t), l),
+                back.query(NodeId(s), NodeId(t), l),
+                "reloaded index answers ({s}, {t}, {l}) differently"
+            );
+        }
+    }
+    // The file round trip is the same bytes.
+    let dir = std::env::temp_dir().join(format!("brokerset-idx-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tiny.bri");
+    idx.save(&path).expect("index saves");
+    let loaded = ReachIndex::load(&path).expect("index loads");
+    assert_eq!(loaded.to_bytes(), bytes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reach_index_invalidation_bit_identical_across_threads() {
+    // Replaying the same fault schedule through apply_state must leave
+    // byte-identical indexes at every thread count — the shard triage
+    // and the rebuild fan-out are both deterministic.
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let sel = max_subgraph_greedy(g, 60);
+    let schedule = chaos_schedule(sel.order(), g.node_count());
+    let replay = |threads: usize| {
+        let mut idx = ReachIndex::build(g, sel.brokers(), 6, threads);
+        for epoch in 1..=schedule.horizon() {
+            idx.apply_state(g, &schedule.state_at(epoch), threads);
+        }
+        idx.to_bytes()
+    };
+    let base = replay(1);
+    for t in THREADS[1..].iter().copied() {
+        assert_eq!(
+            replay(t),
+            base,
+            "invalidation replay diverged at threads={t}"
+        );
+    }
 }
 
 #[test]

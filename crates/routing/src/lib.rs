@@ -51,6 +51,6 @@ pub use inflation::{inflation_report, InflationReport};
 pub use monitor::{supervise, MonitorConfig, MonitorReport, Session, SessionReport};
 pub use policy::{EdgeClass, PolicyGraph};
 pub use qos::{LatencyModel, PathQos};
-pub use stitch::{stitch_path, stitch_path_weighted, StitchedPath};
+pub use stitch::{stitch_answer_path, stitch_path, stitch_path_weighted, StitchedPath};
 pub use validate::{AuditReport, PathCertificate, Validate};
 pub use valleyfree::{valley_free_path, valley_free_reach, Phase, ValleyFreeView};

@@ -137,6 +137,44 @@ pub fn stitch_path_weighted(
     Some(mk(brokers, path))
 }
 
+/// Materialize a [`brokerset::StitchAnswer`] from the query plane into
+/// the concrete installed route: shortest dominated paths `src → broker`
+/// and `broker → dst`, concatenated at the broker.
+///
+/// Because an optimal answer's broker lies on a shortest dominated
+/// path (`hops_s + hops_t` equals the dominated distance), the
+/// concatenation is itself a shortest dominated path. Returns `None`
+/// when either leg is missing or its length disagrees with the answer —
+/// i.e. the answer is stale for this graph/broker set.
+pub fn stitch_answer_path(
+    g: &Graph,
+    brokers: &NodeSet,
+    src: NodeId,
+    dst: NodeId,
+    answer: &brokerset::StitchAnswer,
+) -> Option<StitchedPath> {
+    if src == dst {
+        return (answer.hops() == 0).then(|| mk(brokers, vec![src]));
+    }
+    let view = DominatedView::new(g, brokers);
+    let to_broker = with_arena(|arena| {
+        arena.run_to_target(view, src, |v| v == answer.broker)?;
+        arena.path_to(answer.broker)
+    })?;
+    let from_broker = with_arena(|arena| {
+        arena.run_to_target(view, answer.broker, |v| v == dst)?;
+        arena.path_to(dst)
+    })?;
+    if to_broker.len() != answer.hops_s as usize + 1
+        || from_broker.len() != answer.hops_t as usize + 1
+    {
+        return None;
+    }
+    let mut path = to_broker;
+    path.extend_from_slice(&from_broker[1..]);
+    Some(mk(brokers, path))
+}
+
 fn mk(brokers: &NodeSet, path: Vec<NodeId>) -> StitchedPath {
     let broker_positions = path
         .iter()
@@ -213,6 +251,45 @@ mod tests {
         assert_eq!(p.path, vec![NodeId(0)]);
         assert_eq!(p.hops(), 0);
         assert!(p.broker_only());
+    }
+
+    #[test]
+    fn index_answers_materialize_to_shortest_paths() {
+        use brokerset::ReachIndex;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = netgraph::barabasi_albert(70, 2, &mut rng);
+        let sel = brokerset::greedy_mcb(&g, 7);
+        let b = sel.brokers();
+        let idx = ReachIndex::build(&g, b, 6, 1);
+        let mut materialized = 0usize;
+        for (s, t) in [(0u32, 40u32), (3, 55), (10, 61), (5, 5), (20, 33)] {
+            let (s, t) = (NodeId(s), NodeId(t));
+            match idx.query(s, t, 6) {
+                Some(ans) => {
+                    let p = stitch_answer_path(&g, b, s, t, &ans).expect("answer materializes");
+                    assert_eq!(p.hops() as u32, ans.hops());
+                    let direct = stitch_path(&g, b, s, t).unwrap();
+                    assert_eq!(p.hops(), direct.hops(), "not a shortest dominated path");
+                    if s != t {
+                        assert!(is_dominating_path(&g, b, &p.path));
+                    }
+                    materialized += 1;
+                }
+                None => {
+                    assert!(stitch_path(&g, b, s, t).is_none_or(|p| p.hops() > 6));
+                }
+            }
+        }
+        assert!(materialized >= 3);
+
+        // A stale answer (split that disagrees with the topology) is
+        // refused rather than materialized into a wrong-length route.
+        let ans = idx.query(NodeId(0), NodeId(40), 6).unwrap();
+        let stale = brokerset::StitchAnswer {
+            hops_s: ans.hops_s + 1,
+            ..ans
+        };
+        assert!(stitch_answer_path(&g, b, NodeId(0), NodeId(40), &stale).is_none());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The R1-R13 rule set and per-file checking.
+//! The R1-R14 rule set and per-file checking.
 //!
 //! R1-R8 are token-level rewrites of the original line rules (strictly
 //! fewer false negatives: `.unwrap ()` with interior whitespace, renamed
@@ -11,6 +11,10 @@
 //! by [`crate::symbols::SymbolTable`] after all files are absorbed.
 //! R13 confines thread creation (`thread::spawn` / `thread::scope` /
 //! `thread::Builder`) to the pool executor in `netgraph/src/par.rs`.
+//! R14 confines raw socket types (`TcpListener` / `TcpStream` /
+//! `UdpSocket`) to the framed wire protocol module in `src/proto.rs` —
+//! and, unlike most rules, it also applies to binaries: the serving
+//! path must not grow a second, unframed I/O dialect.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -71,12 +75,18 @@ pub enum Rule {
     /// traversal arenas and determinism counters) and reintroduce
     /// scheduling-ordered merges the executor exists to prevent.
     NoAdhocThreads,
+    /// No raw socket types (`TcpListener` / `TcpStream` / `UdpSocket`)
+    /// outside `src/proto.rs` — in library code *or* binaries. The
+    /// framed protocol module owns transport: length prefixes, frame
+    /// caps and error replies live in one place, so a stray
+    /// `TcpStream::connect` cannot bypass them.
+    NoRawSockets,
 }
 
 impl Rule {
     /// Every rule, in id order (used by the SARIF rules array and
     /// `--explain` listings).
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 14] = [
         Rule::NoUnwrap,
         Rule::NoUnseededRng,
         Rule::CrateRootHygiene,
@@ -90,9 +100,10 @@ impl Rule {
         Rule::NoRelaxedOrdering,
         Rule::ValidateCoverage,
         Rule::NoAdhocThreads,
+        Rule::NoRawSockets,
     ];
 
-    /// Short stable identifier (`R1`..`R13`) used in reports and allowlists.
+    /// Short stable identifier (`R1`..`R14`) used in reports and allowlists.
     pub fn id(self) -> &'static str {
         match self {
             Rule::NoUnwrap => "R1",
@@ -108,6 +119,7 @@ impl Rule {
             Rule::NoRelaxedOrdering => "R11",
             Rule::ValidateCoverage => "R12",
             Rule::NoAdhocThreads => "R13",
+            Rule::NoRawSockets => "R14",
         }
     }
 
@@ -149,6 +161,9 @@ impl Rule {
             }
             Rule::NoAdhocThreads => {
                 "no thread::spawn/scope/Builder outside netgraph/src/par.rs (use the pool executor)"
+            }
+            Rule::NoRawSockets => {
+                "no TcpListener/TcpStream/UdpSocket outside src/proto.rs (use proto::Listener/Conn)"
             }
         }
     }
@@ -298,6 +313,19 @@ impl Rule {
                  Fix: route the fan-out through netgraph::par, or justify\n\
                  an allowlist entry for genuinely pool-incompatible work."
             }
+            Rule::NoRawSockets => {
+                "R14 NoRawSockets\n\
+                 TcpListener / TcpStream / UdpSocket outside src/proto.rs\n\
+                 means a second I/O dialect next to the framed protocol:\n\
+                 unframed reads have no length-prefix discipline, no\n\
+                 MAX_FRAME cap, and no uniform error replies, so every\n\
+                 malformed-input guarantee the proto fuzz tests pin stops\n\
+                 covering that path. Unlike most rules this one also binds\n\
+                 binaries — brokerd and the bench clients speak through\n\
+                 proto::Listener / proto::Conn, which carry the framing.\n\
+                 Fix: express the endpoint through src/proto.rs (extend the\n\
+                 opcode set if the protocol is missing a verb)."
+            }
         }
     }
 }
@@ -362,7 +390,7 @@ fn is_crate_root(path: &str) -> bool {
 /// Per-file analysis output: the violations plus the item tree (the
 /// workspace pass feeds the tree to the symbol table for R12).
 pub struct FileAnalysis {
-    /// Violations found in this file (R1-R11, R13; R12 is workspace-level).
+    /// Violations found in this file (R1-R11, R13, R14; R12 is workspace-level).
     pub violations: Vec<Violation>,
     /// The file's item tree.
     pub tree: ItemTree,
@@ -507,6 +535,17 @@ pub fn analyze_file(path: &str, text: &str) -> FileAnalysis {
             && matches!(t.text.as_str(), "spawn" | "scope" | "Builder")
         {
             push!(Rule::NoAdhocThreads, t.line);
+        }
+
+        // R14: raw socket types are a proto-module privilege — in
+        // library code AND binaries (the serving path must not grow an
+        // unframed side channel around proto::Listener / proto::Conn).
+        if (product || class == FileClass::Bin)
+            && !in_test
+            && path != "src/proto.rs"
+            && matches!(t.text.as_str(), "TcpListener" | "TcpStream" | "UdpSocket")
+        {
+            push!(Rule::NoRawSockets, t.line);
         }
     }
 

@@ -9,6 +9,8 @@
 //! broker-cli audit     <snapshot.json> [alg] [k]      invariant audit (exit 1 on findings)
 //! broker-cli chaos     <snapshot.json> <alg> <k>      scripted fault timeline + certificate
 //! broker-cli evolve    <snapshot.json> <epochs> <k> [seed]  grow the topology, maintain brokers
+//! broker-cli index build <snapshot.json> <alg> <k> <out.bri>  precompute the reachability index
+//! broker-cli index query <index.bri> <s> <t> <l>     answer one stitch query from the index
 //! ```
 //!
 //! Algorithms: `maxsg`, `greedy`, `approx`, `db`, `prb`, `ixpb`, `tier1`.
@@ -27,7 +29,7 @@ use brokerset::{
     approx_mcbg, chaos_trace, degree_based, greedy_mcb, ixp_based, lhop_curve, max_subgraph_greedy,
     pagerank_based, ranked_brokers, saturated_connectivity, tier1_only, ApproxConfig,
     BrokerMaintainer, BrokerSelection, CoverageCertificate, DegradationCertificate, MaintainConfig,
-    SourceMode, Validate,
+    ReachIndex, SourceMode, Validate,
 };
 use topology::{
     evolve, load_snapshot, save_snapshot, GrowthConfig, Internet, InternetConfig, Scale,
@@ -110,6 +112,8 @@ usage:
   broker-cli audit    <snapshot.json> [alg] [k]
   broker-cli chaos    <snapshot.json> <alg> <k>
   broker-cli evolve   <snapshot.json> <epochs> <k> [seed]
+  broker-cli index build <snapshot.json> <alg> <k> <out.bri>
+  broker-cli index query <index.bri> <s> <t> <l>
 algorithms: maxsg greedy approx db prb ixpb tier1
 global flags: --obs PATH (metrics snapshot), --record PATH (evolve: delta stream + ledger JSON)";
 
@@ -361,6 +365,61 @@ fn run(args: &[String], record_path: Option<&str>) -> Result<(), String> {
                     audit.findings.len()
                 );
                 std::process::exit(1);
+            }
+        }
+        "index" => {
+            let sub = args
+                .get(1)
+                .ok_or("missing index subcommand (build|query)")?;
+            match sub.as_str() {
+                "build" => {
+                    let net = load(args.get(2))?;
+                    let sel = select(&net, args.get(3), args.get(4))?;
+                    let out = args.get(5).ok_or("missing output path")?;
+                    let g = net.graph();
+                    let idx = ReachIndex::build(g, sel.brokers(), 6, 0);
+                    let audit = idx.audit();
+                    if !audit.is_ok() {
+                        eprintln!("index audit failed: {audit}");
+                        std::process::exit(1);
+                    }
+                    idx.save(std::path::Path::new(out))
+                        .map_err(|e| e.to_string())?;
+                    say!(
+                        "wrote {}-broker x {}-node index (max_l {}) to {out}, digest {:016x}",
+                        idx.broker_count(),
+                        idx.node_count(),
+                        idx.max_l(),
+                        idx.digest()
+                    );
+                    Ok(())
+                }
+                "query" => {
+                    let path = args.get(2).ok_or("missing index path")?;
+                    let idx = ReachIndex::load(std::path::Path::new(path))
+                        .map_err(|e| format!("loading index {path}: {e}"))?;
+                    let coord = |i: usize, what: &str| -> Result<u32, String> {
+                        args.get(i)
+                            .ok_or(format!("missing {what}"))?
+                            .parse()
+                            .map_err(|e| format!("bad {what}: {e}"))
+                    };
+                    let s = coord(3, "source")?;
+                    let t = coord(4, "destination")?;
+                    let l = coord(5, "hop bound")? as usize;
+                    match idx.query(netgraph::NodeId(s), netgraph::NodeId(t), l) {
+                        Some(a) => say!(
+                            "stitch {s} -> {t} via broker {}: {} + {} hops (total {}, l <= {l})",
+                            a.broker.0,
+                            a.hops_s,
+                            a.hops_t,
+                            a.hops()
+                        ),
+                        None => say!("no dominated stitch from {s} to {t} within l = {l}"),
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unknown index subcommand '{other}'")),
             }
         }
         other => Err(format!("unknown command '{other}'")),

@@ -49,6 +49,7 @@ pub use routing;
 pub use topology;
 
 pub mod econbridge;
+pub mod proto;
 
 /// The most common imports in one place.
 pub mod prelude {

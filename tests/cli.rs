@@ -138,6 +138,72 @@ fn evolve_reports_swaps_and_records_stream() {
 }
 
 #[test]
+fn index_build_and_query_roundtrip() {
+    let dir = tmpdir();
+    let snap = dir.join("idx-net.json");
+    let idx = dir.join("net.bri");
+    assert!(cli()
+        .args(["generate", "tiny", "7", snap.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    // build: precompute and persist the BRI1 blob.
+    let out = cli()
+        .args([
+            "index",
+            "build",
+            snap.to_str().unwrap(),
+            "maxsg",
+            "20",
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn index build");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("20-broker"), "{text}");
+    assert!(text.contains("digest"), "{text}");
+    assert!(idx.exists());
+
+    // query: a vertex can always stitch to itself within any bound.
+    let out = cli()
+        .args(["index", "query", idx.to_str().unwrap(), "5", "5", "3"])
+        .output()
+        .expect("spawn index query");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stitch 5 -> 5"), "{text}");
+
+    // Out-of-range endpoints are a clean miss, not a crash.
+    let out = cli()
+        .args(["index", "query", idx.to_str().unwrap(), "0", "999999", "6"])
+        .output()
+        .expect("spawn index query miss");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no dominated stitch"), "{text}");
+
+    // Unknown subcommand and missing operands are usage errors.
+    let out = cli().args(["index", "frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown index subcommand"));
+    let out = cli()
+        .args(["index", "query", idx.to_str().unwrap(), "1", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing hop bound"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_rejects_bad_input() {
     // Unknown command.
     let out = cli().args(["frobnicate"]).output().unwrap();
