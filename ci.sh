@@ -106,6 +106,17 @@ run cargo test --offline -q -p brokerset --test index_props
 run cargo test --offline -q -p brokerset --test index_props --features obs
 run cargo test --offline -q -p broker-net --test proto_server
 
+# Planner gate: every reconfiguration plan must be certificate-clean —
+# acyclic, step set equal to the config diff, and every topological cut
+# state Validate-clean — with execution traces bit-identical across
+# thread counts (differential proptests). Both feature states: obs
+# counters must never perturb plan shape or trace checksums. The
+# ext_plan golden (DAG shape + cross-thread checksums on the recorded
+# epoch stream) rides in the `bins golden` lines below, which already
+# run in both states.
+run cargo test --offline -q -p routing --test plan_props
+run cargo test --offline -q -p routing --test plan_props --features obs
+
 # Observability gates: the obs contract suite in both feature states
 # (macro unit-expansion, bucket math, thread-count-invariant snapshots),
 # the economics axioms, and the golden result snapshots (table3, fig2a,
@@ -148,17 +159,24 @@ echo "==> quarter-scale perf smoke passed (checksum $checksum_default)"
 # Serve smoke gate: a real brokerd on an ephemeral port, driven by the
 # serve_bench client in attach mode — 10k queries over TCP whose answer
 # checksum must equal the client's own exact (BFS-oracle) evaluation.
+# Readiness is sleep-free: brokerd announces its port immediately after
+# bind (before the index build), and the attach client's handshake
+# blocks on the HELLO reply, which arrives exactly when the daemon
+# starts serving. The loop below only scrapes the port number out of
+# the log; it never waits out the index build.
 echo "==> serve smoke: brokerd + serve_bench --attach" >&2
 cargo build --offline --release -q -p bench --bins
 brokerd_log="$(mktemp)"
 ./target/release/brokerd tiny 7 --port 0 >"$brokerd_log" 2>&1 &
 brokerd_pid=$!
 port=""
-for _ in $(seq 1 100); do
+for i in $(seq 1 200); do
     port=$(sed -n 's/^brokerd: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$brokerd_log")
     [ -n "$port" ] && break
     kill -0 "$brokerd_pid" 2>/dev/null || { cat "$brokerd_log" >&2; exit 1; }
-    sleep 0.2
+    # The port line lands within milliseconds of process start; back off
+    # only if the scheduler is starving us.
+    [ "$i" -gt 20 ] && sleep 0.1
 done
 if [ -z "$port" ]; then
     echo "==> brokerd never reported a listening port:" >&2

@@ -18,7 +18,11 @@
 //! ```
 //!
 //! which is the line scripts (`ci.sh`'s serve smoke, the golden-session
-//! test) parse to find it. Connections are served one thread each;
+//! test) parse to find it. The announcement precedes the index build:
+//! early clients queue in the TCP backlog and their blocking HELLO
+//! read doubles as the readiness signal (see
+//! [`broker_net::proto::Conn::handshake`]), so no caller ever needs a
+//! fixed startup delay. Connections are served one thread each;
 //! batch frames inside a connection fan out on the persistent
 //! `netgraph::par` worker pool at `--threads N`. A `SHUTDOWN` frame
 //! from any client stops the accept loop and exits cleanly after
@@ -37,6 +41,16 @@ const MAX_L: usize = 6;
 
 fn main() {
     let (rc, _) = RunConfig::from_args_extended(ArgExtras::default(), "");
+
+    // Bind BEFORE building the index so the port announcement is
+    // immediate and scripts never wait out the build behind a sleep
+    // loop. Clients that connect early queue in the TCP backlog; their
+    // blocking HELLO read IS the readiness signal — it returns exactly
+    // when the accept loop (below, after the build) starts serving.
+    let listener = proto::Listener::bind(rc.port.unwrap_or(0)).expect("bind listener");
+    let port = listener.port().expect("bound port");
+    println!("brokerd: listening on 127.0.0.1:{port}");
+
     let t0 = Instant::now();
     let index = match &rc.index {
         Some(path) => match ReachIndex::load(path) {
@@ -68,9 +82,6 @@ fn main() {
 
     let index = Arc::new(index);
     let counters = Arc::new(ServeCounters::new());
-    let listener = proto::Listener::bind(rc.port.unwrap_or(0)).expect("bind listener");
-    let port = listener.port().expect("bound port");
-    println!("brokerd: listening on 127.0.0.1:{port}");
 
     // SHUTDOWN protocol: the connection thread that receives the frame
     // raises the stop flag, then opens a throwaway connection to wake
@@ -96,7 +107,10 @@ fn main() {
             match proto::serve(conn, &index, &counters, threads) {
                 Ok(true) => {
                     stop.store(true, Ordering::SeqCst);
-                    let _ = proto::Conn::connect(port);
+                    // The wakeup connect must not be a single best-effort
+                    // attempt: if it fails transiently the accept loop
+                    // blocks forever and `wait brokerd` hangs the caller.
+                    let _ = proto::Conn::connect_retry(port, 32);
                 }
                 Ok(false) => {}
                 Err(e) => eprintln!("brokerd: connection error: {e}"),

@@ -18,7 +18,7 @@ use brokerset::{chaos_trace_threaded, max_subgraph_greedy, DegradationCertificat
 use netgraph::{FaultSchedule, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use routing::replay_sessions;
+use routing::{plan_recovery, replay_sessions};
 use topology::{ixp_outage_group, largest_ixp, region_outage_group, GeoModel, Region};
 
 const MAX_L: usize = 6;
@@ -155,6 +155,48 @@ fn main() {
         stats.unbroken
     );
 
+    // Recovery timeline as *planned* transitions: every broker-set
+    // change (defection wave, recovery wave) becomes a dependency-DAG
+    // plan whose certificate and per-cut invariants must hold, executed
+    // in antichains on the worker pool.
+    let transitions =
+        plan_recovery(g, sel.brokers(), &schedule, &pairs).expect("recovery plans build");
+    let mut plan_steps = 0usize;
+    let mut plan_width = 0usize;
+    let mut plan_depth = 0usize;
+    let mut plan_seq = 0u64;
+    let mut plan_makespan = 0u64;
+    let mut plan_checksum: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in &transitions {
+        let cert = t.plan.certificate(g).audit();
+        assert!(cert.is_ok(), "plan certificate (epoch {}): {cert}", t.epoch);
+        let trace = t.plan.execute(g, rc.threads);
+        assert!(
+            trace.cut_audit.is_ok(),
+            "unsafe cut (epoch {}): {}",
+            t.epoch,
+            trace.cut_audit
+        );
+        let s = t.plan.summary(g);
+        plan_steps += s.steps;
+        plan_width = plan_width.max(s.width);
+        plan_depth = plan_depth.max(s.depth);
+        plan_seq += s.sequential_units;
+        plan_makespan += s.makespan_units;
+        plan_checksum ^= trace.checksum.rotate_left(t.epoch % 63);
+    }
+    let plan_speedup = if plan_makespan == 0 {
+        1.0
+    } else {
+        plan_seq as f64 / plan_makespan as f64
+    };
+    println!(
+        "\nplanned recovery: {} transitions, {plan_steps} steps, width {plan_width},\n\
+         depth {plan_depth}; makespan {plan_makespan} vs sequential {plan_seq} units\n\
+         ({plan_speedup:.2}x); every cut certified",
+        transitions.len(),
+    );
+
     rc.record(
         "ext_chaos",
         serde_json::json!({
@@ -173,6 +215,14 @@ fn main() {
             "failovers": stats.failovers,
             "reroutes": stats.reroutes,
             "unbroken": stats.unbroken as u64,
+            "plan_transitions": transitions.len() as u64,
+            "plan_steps": plan_steps as u64,
+            "plan_width": plan_width as u64,
+            "plan_depth": plan_depth as u64,
+            "plan_makespan_units": plan_makespan,
+            "plan_sequential_units": plan_seq,
+            "plan_speedup": plan_speedup,
+            "plan_checksum": format!("{plan_checksum:016x}"),
         }),
     )
     .expect("--record write failed");

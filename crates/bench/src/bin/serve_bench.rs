@@ -187,8 +187,11 @@ fn attach_smoke(rc: &RunConfig, port: u16, queries: &[(u32, u32, u16)]) {
     let g = net.graph();
     let n = g.node_count();
     let sel = max_subgraph_greedy(g, rc.budgets(n)[1]);
-    let mut conn = proto::Conn::connect(port).expect("connect to brokerd");
-    let hello = conn.request(&Request::Hello).expect("hello");
+    // Sleep-free readiness: retry the connect until the listener is up,
+    // then block on the HELLO reply — the reply itself is the readiness
+    // signal, so no fixed delay is ever needed between daemon start and
+    // the first query.
+    let (mut conn, hello) = proto::Conn::handshake(port, 64).expect("handshake with brokerd");
     match hello {
         Response::HelloOk { n: served, k, .. } => {
             assert_eq!(served as usize, n, "brokerd serves a different topology");

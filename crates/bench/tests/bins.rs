@@ -261,6 +261,81 @@ fn ext_evolve_matches_golden_snapshot() {
 }
 
 #[test]
+fn ext_plan_matches_golden_snapshot() {
+    // Planner benchmark: per-transition DAG shape (steps, width, depth,
+    // makespan model) and the cross-thread execution checksum.
+    // --threads 2 proves the record is thread-count invariant — the bin
+    // itself additionally sweeps threads 1/2/4/7 and asserts the
+    // execution checksums agree.
+    check_golden(
+        env!("CARGO_BIN_EXE_ext_plan"),
+        "ext_plan",
+        &["tiny", "7", "--threads", "2"],
+    );
+}
+
+#[test]
+fn ext_plan_golden_rejects_injected_step_reorder() {
+    // A reordered step lands in a different execution layer, which
+    // moves its contribution inside the per-step FNV fold — so a step
+    // reorder always shows up as a changed plan_checksum, and swapping
+    // two transitions permutes the per-transition shape arrays. The
+    // golden must bite on both.
+    let golden_path = goldens_dir().join("ext_plan.tiny.json");
+    let text = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e})", golden_path.display()));
+    let want: serde_json::Value = serde_json::from_str(&text).expect("golden JSON parses");
+
+    fn data_entries(v: &mut serde_json::Value) -> &mut Vec<(String, serde_json::Value)> {
+        let serde_json::Value::Object(entries) = v else {
+            panic!("golden root is not an object");
+        };
+        let data = entries
+            .iter_mut()
+            .find(|(k, _)| k == "data")
+            .map(|(_, v)| v)
+            .expect("golden has a data field");
+        let serde_json::Value::Object(data) = data else {
+            panic!("golden data is not an object");
+        };
+        data
+    }
+
+    // Checksum flip: the signature of a reordered step.
+    let mut got = want.clone();
+    let sum = data_entries(&mut got)
+        .iter_mut()
+        .find(|(k, _)| k == "plan_checksum")
+        .map(|(_, v)| v)
+        .expect("golden records a plan checksum");
+    let serde_json::Value::Str(s) = sum else {
+        panic!("plan checksum is not a string");
+    };
+    let flipped = if s.starts_with('0') { "f" } else { "0" };
+    s.replace_range(0..1, flipped);
+    let panicked = std::panic::catch_unwind(|| assert_json_close("ext_plan", &got, &want)).is_err();
+    assert!(panicked, "a checksum flip must fail the plan golden");
+
+    // Transition swap: rotate one shape array by one slot.
+    let mut got = want.clone();
+    let steps = data_entries(&mut got)
+        .iter_mut()
+        .find(|(k, _)| k == "steps")
+        .map(|(_, v)| v)
+        .expect("golden records per-transition step counts");
+    let serde_json::Value::Array(steps) = steps else {
+        panic!("steps is not an array");
+    };
+    assert!(
+        steps.windows(2).any(|w| w[0] != w[1]),
+        "step counts are all equal; rotating them would not perturb anything"
+    );
+    steps.rotate_left(1);
+    let panicked = std::panic::catch_unwind(|| assert_json_close("ext_plan", &got, &want)).is_err();
+    assert!(panicked, "a transition reorder must fail the plan golden");
+}
+
+#[test]
 fn serve_bench_matches_golden_snapshot() {
     // serve_bench writes BENCH_serve.json into its CWD, so run it from
     // the temp dir; the --record payload is timing-free (counts,

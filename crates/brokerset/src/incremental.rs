@@ -37,7 +37,7 @@
 //! gap — the differential property tests assert both regimes.
 
 use crate::problem::BrokerSelection;
-use netgraph::{Graph, GraphDelta, NodeId};
+use netgraph::{Graph, GraphDelta, NodeId, NodeSet};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -328,6 +328,37 @@ impl EpochReport {
     /// Brokers changed this epoch (evictions plus selections).
     pub fn swaps(&self) -> usize {
         self.swapped_out.len() + self.swapped_in.len()
+    }
+
+    /// Replay this epoch's swaps onto the pre-epoch broker set,
+    /// producing the post-epoch set sized at this epoch's vertex count.
+    ///
+    /// `(before-resized, after)` is exactly the `(current, target)`
+    /// configuration pair the `routing::plan` reconfiguration planner
+    /// takes, so a maintenance epoch can be applied as a dependency-DAG
+    /// transition instead of an atomic swap. Brokers outside the new
+    /// vertex range (tombstoned before this epoch) are dropped from both
+    /// sides.
+    pub fn transition(&self, before: &NodeSet) -> (NodeSet, NodeSet) {
+        let n = self.node_count;
+        let mut cur = NodeSet::new(n);
+        for b in before.iter() {
+            if b.index() < n {
+                cur.insert(b);
+            }
+        }
+        let mut after = cur.clone();
+        for &b in &self.swapped_out {
+            if b.index() < n {
+                after.remove(b);
+            }
+        }
+        for &b in &self.swapped_in {
+            if b.index() < n {
+                after.insert(b);
+            }
+        }
+        (cur, after)
     }
 }
 
@@ -970,6 +1001,36 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.invariant == "covindex.brokers-covered"));
+    }
+
+    #[test]
+    fn epoch_transition_replays_to_the_maintained_set() {
+        // Whatever apply() did, report.transition(pre-epoch set) must
+        // land exactly on the post-epoch maintained set — the contract
+        // the reconfiguration planner's inputs ride on.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g0 = netgraph::barabasi_albert(160, 3, &mut rng);
+        let mut m = BrokerMaintainer::new(&g0, 10, MaintainConfig::default());
+        let mut g = g0.clone();
+        for round in 0..6 {
+            let before =
+                NodeSet::from_iter_with_capacity(g.node_count(), m.brokers().iter().copied());
+            let mut d = GraphDelta::new(g.node_count());
+            let v = d.add_node();
+            d.add_edge(v, NodeId(round * 7 % 160));
+            d.remove_edge(NodeId(round % 20), NodeId((round % 20 + 1) % 20));
+            let new_g = g.apply_delta(&d);
+            let report = m.apply(&g, &new_g, &d).clone();
+            let (cur, after) = report.transition(&before);
+            assert_eq!(cur.capacity(), new_g.node_count());
+            let want: Vec<NodeId> = {
+                let mut b = m.brokers().to_vec();
+                b.sort_unstable();
+                b
+            };
+            assert_eq!(after.to_vec(), want, "round {round}");
+            g = new_g;
+        }
     }
 
     #[test]

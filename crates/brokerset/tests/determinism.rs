@@ -237,6 +237,115 @@ fn reach_index_invalidation_bit_identical_across_threads() {
 }
 
 #[test]
+fn reconfig_plan_bit_identical_across_threads() {
+    // The planner's antichain execution fans out on the worker pool;
+    // its construction checksum (steps + dependency rows + layers) and
+    // its execution trace checksum must not depend on the thread count.
+    use routing::ReconfigPlan;
+
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let cur = max_subgraph_greedy(g, 50);
+    let tgt = max_subgraph_greedy(g, 62);
+    let n = g.node_count() as u32;
+    let pairs: Vec<(NodeId, NodeId)> = (0..24u32)
+        .map(|i| (NodeId(i * 37 % n), NodeId((i * 91 + 13) % n)))
+        .filter(|(u, v)| u != v)
+        .collect();
+    let plan = ReconfigPlan::build(g, cur.brokers(), tgt.brokers(), &pairs).expect("plan");
+    let rebuilt = ReconfigPlan::build(g, cur.brokers(), tgt.brokers(), &pairs).expect("plan");
+    assert_eq!(
+        plan.construction_checksum(),
+        rebuilt.construction_checksum(),
+        "plan construction is not deterministic"
+    );
+    let base = plan.execute(g, 1);
+    assert!(base.cut_audit.is_ok(), "cuts: {}", base.cut_audit);
+    for t in THREADS[1..].iter().copied() {
+        let trace = plan.execute(g, t);
+        assert_eq!(
+            trace.checksum, base.checksum,
+            "plan execution trace diverged at threads={t}"
+        );
+        assert_eq!(
+            trace.layers, base.layers,
+            "step records diverged at threads={t}"
+        );
+    }
+}
+
+#[test]
+fn reconfig_plan_layout_invariant_across_permuted_csr() {
+    // The degree-ordered CSR relabeling must be invisible in planning
+    // outcomes: with both configurations and the session endpoints
+    // mapped into the new id space, the broker flips (mapped back) are
+    // the same set, the plan still certifies, and execution stays
+    // thread-count invariant on the permuted layout.
+    use netgraph::Validate;
+    use routing::{ReconfigPlan, Step};
+    use std::collections::BTreeSet;
+
+    let net = InternetConfig::scaled(Scale::Tiny).generate(42);
+    let g = net.graph();
+    let cur = max_subgraph_greedy(g, 50);
+    let tgt = max_subgraph_greedy(g, 62);
+    let n = g.node_count() as u32;
+    let pairs: Vec<(NodeId, NodeId)> = (0..24u32)
+        .map(|i| (NodeId(i * 37 % n), NodeId((i * 91 + 13) % n)))
+        .filter(|(u, v)| u != v)
+        .collect();
+    let base = ReconfigPlan::build(g, cur.brokers(), tgt.brokers(), &pairs).expect("plan");
+
+    let perm = g.permute_by_degree();
+    let cert = perm.audit();
+    assert!(cert.is_ok(), "permutation certificate failed: {cert:?}");
+    let cur_p = perm.map_set(cur.brokers());
+    let tgt_p = perm.map_set(tgt.brokers());
+    let pairs_p: Vec<(NodeId, NodeId)> = pairs
+        .iter()
+        .map(|&(u, v)| (perm.to_new(u), perm.to_new(v)))
+        .collect();
+    let plan_p = ReconfigPlan::build(perm.graph(), &cur_p, &tgt_p, &pairs_p).expect("plan");
+
+    // Broker flips mapped back through the permutation are the same
+    // sets (the config diff is a set difference, label-invariant).
+    let flips = |p: &ReconfigPlan, back: bool| -> (BTreeSet<u32>, BTreeSet<u32>) {
+        let m = |b: NodeId| if back { perm.to_old(b).0 } else { b.0 };
+        let mut acts = BTreeSet::new();
+        let mut deacts = BTreeSet::new();
+        for s in p.steps() {
+            match *s {
+                Step::ActivateBroker(b) => {
+                    acts.insert(m(b));
+                }
+                Step::DeactivateBroker(b) => {
+                    deacts.insert(m(b));
+                }
+                Step::MigrateSession { .. } => {}
+            }
+        }
+        (acts, deacts)
+    };
+    assert_eq!(
+        flips(&base, false),
+        flips(&plan_p, true),
+        "broker flips diverged under the permuted layout"
+    );
+
+    let rep = plan_p.certificate(perm.graph()).audit();
+    assert!(rep.is_ok(), "permuted-layout certificate failed: {rep}");
+    let first = plan_p.execute(perm.graph(), 1);
+    assert!(first.cut_audit.is_ok(), "cuts: {}", first.cut_audit);
+    for t in THREADS[1..].iter().copied() {
+        let trace = plan_p.execute(perm.graph(), t);
+        assert_eq!(
+            trace.checksum, first.checksum,
+            "permuted-layout execution diverged at threads={t}"
+        );
+    }
+}
+
+#[test]
 fn auto_threads_matches_explicit() {
     let net = InternetConfig::scaled(Scale::Tiny).generate(42);
     let g = net.graph();

@@ -342,6 +342,40 @@ pub fn sum_f64(xs: &[f64]) -> f64 {
     xs.iter().fold(0.0f64, |acc, &x| acc + x)
 }
 
+/// Execute dependency *layers* (antichains of a DAG) in order on the
+/// persistent pool.
+///
+/// Within a layer every item maps through `f` concurrently (a
+/// [`map_auto`] fan-out); between layers there is a full barrier — layer
+/// `i + 1` does not start until every item of layer `i` has merged, so a
+/// step only ever runs after everything it depends on. Results come back
+/// one `Vec` per layer, in item order, which makes the whole trace
+/// bit-identical for every `threads` value: this is the scheduling
+/// contract the reconfiguration planner's deterministic parallel
+/// execution rides on.
+///
+/// # Panics
+///
+/// Re-raises worker panics (the barrier still completes the panicking
+/// layer's merge first).
+pub fn run_layers<T, R, F>(layers: &[Vec<T>], threads: usize, f: F) -> Vec<Vec<R>>
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&T) -> R + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let () = crate::counter!("par.layer_runs");
+    let () = crate::counter!("par.layers", layers.len() as u64);
+    layers
+        .iter()
+        .map(|layer| {
+            let f = Arc::clone(&f);
+            map_auto(layer, threads, move |t| f(t))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +554,66 @@ mod tests {
         let _ = map_chunks(&items, 16, 3, |c| c.len());
         let _ = map_chunks(&items, 16, 2, |c| c.len());
         assert!(pool_size() >= after_first);
+    }
+
+    #[test]
+    fn run_layers_trace_is_thread_count_invariant() {
+        // Antichain scheduling: per-layer, per-item results must be
+        // bit-identical for every thread count, including the float
+        // results that would expose merge-order drift.
+        let layers: Vec<Vec<u64>> = vec![
+            (0..100).collect(),
+            (100..103).collect(),
+            Vec::new(),
+            (103..250).collect(),
+        ];
+        let base = run_layers(&layers, 1, |&x| (1.0 / (x as f64 + 0.3)).to_bits());
+        assert_eq!(base.len(), layers.len());
+        assert!(base[2].is_empty());
+        for threads in [2, 4, 7] {
+            let got = run_layers(&layers, threads, |&x| (1.0 / (x as f64 + 0.3)).to_bits());
+            assert_eq!(got, base, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_layers_barriers_between_layers() {
+        // Every step of layer i must complete before any step of layer
+        // i + 1 starts: stamp each step with a global SeqCst counter and
+        // check the stamp ranges of consecutive layers never overlap.
+        let layers: Vec<Vec<usize>> = vec![(0..40).collect(), (0..40).collect(), (0..7).collect()];
+        let clock = Arc::new(AtomicUsize::new(0));
+        let stamps = {
+            let clock = Arc::clone(&clock);
+            run_layers(&layers, 4, move |_| clock.fetch_add(1, Ordering::SeqCst))
+        };
+        let mut prev_max = None;
+        for (li, layer) in stamps.iter().enumerate() {
+            let lo = layer.iter().min().copied();
+            if let (Some(prev), Some(lo)) = (prev_max, lo) {
+                assert!(
+                    lo > prev,
+                    "layer {li} started before layer {} ended",
+                    li - 1
+                );
+            }
+            prev_max = layer.iter().max().copied().or(prev_max);
+        }
+        assert_eq!(clock.load(Ordering::SeqCst), 40 + 40 + 7);
+    }
+
+    #[test]
+    fn run_layers_empty_and_panic() {
+        let none: Vec<Vec<u32>> = Vec::new();
+        assert!(run_layers(&none, 4, |&x: &u32| x).is_empty());
+        let layers: Vec<Vec<u32>> = vec![(0..8).collect(), (8..64).collect()];
+        let result = std::panic::catch_unwind(|| {
+            run_layers(&layers, 4, |&x| {
+                assert!(x != 33, "boom on {x}");
+                x
+            })
+        });
+        assert!(result.is_err(), "layer panic swallowed by the executor");
     }
 
     #[test]

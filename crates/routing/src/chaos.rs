@@ -25,6 +25,7 @@
 //! compose in one timeline: a link the growth model withdraws behaves
 //! exactly like a cut the schedule never recovers.
 
+use crate::plan::{PlanError, ReconfigPlan};
 use crate::stitch::StitchedPath;
 use netgraph::{
     undirected_key, with_arena, DominatedView, FaultSchedule, FaultState, FaultView, Graph,
@@ -338,6 +339,55 @@ fn plan_under(
     Some((primary, backup))
 }
 
+/// One planned broker-set transition of a recovery timeline.
+#[derive(Debug, Clone)]
+pub struct RecoveryTransition {
+    /// Epoch whose entry state the plan lands on (the transition runs
+    /// between `epoch - 1` and `epoch`).
+    pub epoch: u32,
+    /// The dependency-DAG plan for the transition.
+    pub plan: ReconfigPlan,
+}
+
+/// Plan every broker-set transition a fault schedule forces.
+///
+/// Walks `schedule` epoch by epoch; whenever the surviving broker set
+/// (`brokers` minus that epoch's defections) changes, the transition
+/// from the previous epoch's set is planned as a dependency DAG over the
+/// supervised `pairs` instead of an atomic swap — defections become
+/// deactivation waves, recoveries become activation waves, and affected
+/// sessions get migration steps ordered so every intermediate state
+/// keeps its invariants (see [`crate::plan`]).
+///
+/// Only broker defections/recoveries are reconfigurations; node and edge
+/// faults are environment, not intent, so they do not produce plans.
+///
+/// # Errors
+///
+/// Propagates [`PlanError`] from plan construction (ill-formed inputs).
+pub fn plan_recovery(
+    g: &Graph,
+    brokers: &NodeSet,
+    schedule: &FaultSchedule,
+    pairs: &[(NodeId, NodeId)],
+) -> Result<Vec<RecoveryTransition>, PlanError> {
+    let mut out = Vec::new();
+    let mut prev = brokers.clone();
+    for epoch in 0..schedule.horizon() {
+        let state = schedule.state_at(epoch);
+        let mut alive = brokers.clone();
+        alive.difference_with(state.failed_brokers());
+        if alive != prev {
+            out.push(RecoveryTransition {
+                epoch,
+                plan: ReconfigPlan::build(g, &prev, &alive, pairs)?,
+            });
+            prev = alive;
+        }
+    }
+    Ok(out)
+}
+
 /// Shortest path on an arbitrary view, stitched with broker positions.
 fn shortest_on<V: GraphView>(
     view: V,
@@ -368,7 +418,7 @@ fn shortest_on<V: GraphView>(
 mod tests {
     use super::*;
     use netgraph::graph::from_edges;
-    use netgraph::FaultSchedule;
+    use netgraph::{FaultSchedule, Validate};
 
     fn cycle4() -> Graph {
         from_edges(
@@ -561,6 +611,37 @@ mod tests {
         assert_eq!(stats.sessions, 2);
         assert_eq!(stats.unbroken, 2);
         assert!((stats.mean_availability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_transitions_are_planned_and_certified() {
+        // Broker 1 defects at epoch 1 and recovers at epoch 2: two
+        // transitions (deactivation wave, then activation wave), each
+        // with a passing certificate and safe cuts.
+        let g = cycle4();
+        let brokers = NodeSet::full(4);
+        let mut sched = FaultSchedule::new(4);
+        sched.fail_broker(1, NodeId(1));
+        sched.recover_broker(2, NodeId(1));
+        sched.set_horizon(3);
+        let pairs = [(NodeId(0), NodeId(2))];
+        let transitions = plan_recovery(&g, &brokers, &sched, &pairs).expect("plans");
+        assert_eq!(transitions.len(), 2);
+        assert_eq!(transitions[0].epoch, 1);
+        assert_eq!(transitions[1].epoch, 2);
+        for t in &transitions {
+            let rep = t.plan.certificate(&g).audit();
+            assert!(rep.is_ok(), "epoch {}: {rep}", t.epoch);
+            let trace = t.plan.execute(&g, 2);
+            assert!(trace.cut_audit.is_ok(), "{}", trace.cut_audit);
+        }
+        // Node/edge faults alone plan nothing.
+        let mut quiet = FaultSchedule::new(4);
+        quiet.fail_edge(1, NodeId(0), NodeId(1));
+        quiet.set_horizon(3);
+        assert!(plan_recovery(&g, &brokers, &quiet, &pairs)
+            .expect("plans")
+            .is_empty());
     }
 
     #[test]

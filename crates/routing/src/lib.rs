@@ -31,6 +31,7 @@ pub mod directional;
 pub mod failover;
 pub mod inflation;
 pub mod monitor;
+pub mod plan;
 pub mod policy;
 pub mod qos;
 pub mod stitch;
@@ -40,8 +41,8 @@ pub mod valleyfree;
 pub use bgp::{bgp_paths_dominated, bgp_routes, Route, RouteClass, RouteTable};
 pub use capacity::{admit_demands, AdmissionReport, CapacityModel, Demand};
 pub use chaos::{
-    replay_session, replay_session_evolving, replay_sessions, replay_sessions_evolving,
-    SessionReplay, SessionStats,
+    plan_recovery, replay_session, replay_session_evolving, replay_sessions,
+    replay_sessions_evolving, RecoveryTransition, SessionReplay, SessionStats,
 };
 pub use directional::{
     directional_connectivity, directional_connectivity_threaded, DirectionalReport,
@@ -49,6 +50,10 @@ pub use directional::{
 pub use failover::{failover_plan, protection_ratio, FailoverPlan};
 pub use inflation::{inflation_report, InflationReport};
 pub use monitor::{supervise, MonitorConfig, MonitorReport, Session, SessionReport};
+pub use plan::{
+    ExecTrace, PlanCertificate, PlanError, PlanSummary, PlannedSession, ReconfigPlan, SessionKind,
+    Step, StepRecord,
+};
 pub use policy::{EdgeClass, PolicyGraph};
 pub use qos::{LatencyModel, PathQos};
 pub use stitch::{stitch_answer_path, stitch_path, stitch_path_weighted, StitchedPath};

@@ -20,6 +20,7 @@
 //! | R12  | workspace symbol table | every pub constructor-bearing product type carries an `impl Validate` certificate |
 //! | R13  | library code of the product crates | no `thread::spawn` / `thread::scope` / `thread::Builder` outside `netgraph/src/par.rs` — parallelism goes through the pool executor |
 //! | R14  | product library code AND binaries | no raw socket types (`TcpListener` / `TcpStream` / `UdpSocket`) outside `src/proto.rs` — all wire I/O goes through the framed `proto::Listener` / `proto::Conn` |
+//! | R15  | library code of the product crates | no ad-hoc toposort/Kahn machinery (`toposort` / `topo_sort` / `topo_order` / `kahn` / `in_degree` identifiers) outside `crates/routing/src/plan.rs` — DAG scheduling goes through the certificate-checked `ReconfigPlan` |
 //!
 //! Existing violations are burned down, not bulk-suppressed: each one
 //! needs an entry in `crates/xtask/lint.allow` (`rule|path|substring`),
@@ -239,7 +240,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
 
 /// [`lint_workspace`] with an explicit allowlist (test hook).
 ///
-/// Two phases: a per-file pass (R1-R11, R13, R14) that also folds every file's
+/// Two phases: a per-file pass (R1-R11, R13-R15) that also folds every file's
 /// item tree into the workspace symbol table, then the symbol-table
 /// pass (R12: pub constructor-bearing product types without a
 /// `Validate` impl). Violations are reported in (path, line, rule)

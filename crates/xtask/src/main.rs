@@ -12,11 +12,11 @@ usage: cargo run -p xtask -- <command>
 
 commands:
   lint [--json] [--sarif PATH] [--root <dir>]
-        run the repo-specific static analysis (R1-R14);
+        run the repo-specific static analysis (R1-R15);
         --json prints the stable JSON report, --sarif also writes a
         SARIF 2.1.0 log to PATH
   lint --explain RN
-        print the rationale and fix guidance for one rule (R1..R14)
+        print the rationale and fix guidance for one rule (R1..R15)
   sarif-check <path>
         verify that <path> is a well-formed SARIF 2.1.0 log
 ";

@@ -1,4 +1,4 @@
-//! The R1-R14 rule set and per-file checking.
+//! The R1-R15 rule set and per-file checking.
 //!
 //! R1-R8 are token-level rewrites of the original line rules (strictly
 //! fewer false negatives: `.unwrap ()` with interior whitespace, renamed
@@ -15,6 +15,11 @@
 //! `UdpSocket`) to the framed wire protocol module in `src/proto.rs` —
 //! and, unlike most rules, it also applies to binaries: the serving
 //! path must not grow a second, unframed I/O dialect.
+//! R15 confines topological-sort machinery (identifiers spelling out
+//! toposort / Kahn / in-degree bookkeeping) to the dependency-DAG
+//! planner in `crates/routing/src/plan.rs`: ad-hoc `Vec`-based
+//! toposorts elsewhere fork the scheduling logic whose cut safety the
+//! plan certificate audits.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -81,12 +86,19 @@ pub enum Rule {
     /// caps and error replies live in one place, so a stray
     /// `TcpStream::connect` cannot bypass them.
     NoRawSockets,
+    /// No ad-hoc topological-sort machinery in product library code
+    /// outside `crates/routing/src/plan.rs`: identifiers spelling out
+    /// toposort/Kahn/in-degree bookkeeping mark a second DAG scheduler
+    /// next to the planner, whose every intermediate cut is
+    /// certificate-checked. Forks of that logic get none of the
+    /// safety audit.
+    NoAdhocToposort,
 }
 
 impl Rule {
     /// Every rule, in id order (used by the SARIF rules array and
     /// `--explain` listings).
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 15] = [
         Rule::NoUnwrap,
         Rule::NoUnseededRng,
         Rule::CrateRootHygiene,
@@ -101,9 +113,10 @@ impl Rule {
         Rule::ValidateCoverage,
         Rule::NoAdhocThreads,
         Rule::NoRawSockets,
+        Rule::NoAdhocToposort,
     ];
 
-    /// Short stable identifier (`R1`..`R14`) used in reports and allowlists.
+    /// Short stable identifier (`R1`..`R15`) used in reports and allowlists.
     pub fn id(self) -> &'static str {
         match self {
             Rule::NoUnwrap => "R1",
@@ -120,6 +133,7 @@ impl Rule {
             Rule::ValidateCoverage => "R12",
             Rule::NoAdhocThreads => "R13",
             Rule::NoRawSockets => "R14",
+            Rule::NoAdhocToposort => "R15",
         }
     }
 
@@ -164,6 +178,9 @@ impl Rule {
             }
             Rule::NoRawSockets => {
                 "no TcpListener/TcpStream/UdpSocket outside src/proto.rs (use proto::Listener/Conn)"
+            }
+            Rule::NoAdhocToposort => {
+                "no ad-hoc toposort/Kahn machinery outside routing/src/plan.rs (use ReconfigPlan)"
             }
         }
     }
@@ -326,6 +343,24 @@ impl Rule {
                  Fix: express the endpoint through src/proto.rs (extend the\n\
                  opcode set if the protocol is missing a verb)."
             }
+            Rule::NoAdhocToposort => {
+                "R15 NoAdhocToposort\n\
+                 A dependency DAG scheduled by a hand-rolled Vec toposort is\n\
+                 a reconfiguration plan without the safety net: the planner\n\
+                 in crates/routing/src/plan.rs is the one place Kahn layering\n\
+                 lives, because every cut of every order it emits is checked\n\
+                 by the plan certificate (acyclicity, per-prefix invariant\n\
+                 validation, step-set/config-diff equality) and its parallel\n\
+                 execution is pinned bit-identical across thread counts. The\n\
+                 rule matches identifiers that spell the machinery out —\n\
+                 toposort / topo_sort / topological_sort / topo_order / kahn\n\
+                 (as a substring) and in_degree / indegree (exact) — in\n\
+                 product library code outside the planner file. Comments may\n\
+                 say Kahn freely; the lexer never sees them.\n\
+                 Fix: model the work as ReconfigPlan steps (or build the DAG\n\
+                 and call its layers()/execute()), or justify an allowlist\n\
+                 entry for a genuinely independent auditor."
+            }
         }
     }
 }
@@ -390,7 +425,7 @@ fn is_crate_root(path: &str) -> bool {
 /// Per-file analysis output: the violations plus the item tree (the
 /// workspace pass feeds the tree to the symbol table for R12).
 pub struct FileAnalysis {
-    /// Violations found in this file (R1-R11, R13, R14; R12 is workspace-level).
+    /// Violations found in this file (R1-R11, R13-R15; R12 is workspace-level).
     pub violations: Vec<Violation>,
     /// The file's item tree.
     pub tree: ItemTree,
@@ -443,7 +478,7 @@ pub fn analyze_file(path: &str, text: &str) -> FileAnalysis {
 
     let product = class == FileClass::ProductLib;
 
-    // --- Token-scan rules (R1, R2, R4, R6, R7, R8, R11). ---
+    // --- Token-scan rules (R1, R2, R4, R6-R8, R11, R13-R15). ---
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
             continue;
@@ -546,6 +581,29 @@ pub fn analyze_file(path: &str, text: &str) -> FileAnalysis {
             && matches!(t.text.as_str(), "TcpListener" | "TcpStream" | "UdpSocket")
         {
             push!(Rule::NoRawSockets, t.line);
+        }
+
+        // R15: topological-sort machinery is a planner privilege. The
+        // marker substrings catch `toposort`, `kahn_layers`,
+        // `topo_order` and friends wherever they appear in an
+        // identifier; the in-degree spellings match exactly so that
+        // e.g. `min_degree` stays clean.
+        if product && !in_test && path != "crates/routing/src/plan.rs" {
+            let lower = t.text.to_ascii_lowercase();
+            let spelled = [
+                "toposort",
+                "topo_sort",
+                "topological_sort",
+                "topo_order",
+                "kahn",
+            ]
+            .iter()
+            .any(|m| lower.contains(m))
+                || lower == "in_degree"
+                || lower == "indegree";
+            if spelled {
+                push!(Rule::NoAdhocToposort, t.line);
+            }
         }
     }
 
@@ -1377,6 +1435,54 @@ pub fn count(threads: usize) -> u64 {
         let src = "pub fn f() { pool.spawn(|| ()); tracing::scope(); }";
         let v = check_file("crates/brokerset/src/x.rs", src);
         assert!(v.iter().all(|v| v.rule != Rule::NoAdhocThreads));
+    }
+
+    #[test]
+    fn r15_confines_toposort_machinery_to_the_planner() {
+        // Spelled-out toposort machinery in product library code fires —
+        // including substring hits inside longer identifiers.
+        for src in [
+            "pub fn order(dag: &Dag) -> Vec<usize> { toposort(dag) }",
+            "pub fn order(dag: &Dag) -> Vec<usize> { kahn_layers(dag) }",
+            "pub fn order(dag: &Dag) -> Vec<usize> { topo_sort(dag) }",
+            "pub fn f() { let topo_order: Vec<usize> = Vec::new(); }",
+            "pub fn f(g: &Dag) { let in_degree = vec![0u32; g.n()]; }",
+            "pub fn f(g: &Dag) { let indegree = vec![0u32; g.n()]; }",
+        ] {
+            let v = check_file("crates/brokerset/src/x.rs", src);
+            assert!(v.iter().any(|v| v.rule == Rule::NoAdhocToposort), "{src}");
+            // The planner owns the machinery.
+            let v = check_file("crates/routing/src/plan.rs", src);
+            assert!(v.iter().all(|v| v.rule != Rule::NoAdhocToposort), "{src}");
+        }
+        // The in-degree spellings are exact: `min_degree`/`indeg` stay
+        // clean (the topology validator's independent Kahn audit uses
+        // `indeg`, and the IXP baseline filters on `min_degree`).
+        for src in [
+            "pub fn ixp(net: &Internet, min_degree: usize) -> usize { min_degree }",
+            "pub fn f(g: &Dag) { let mut indeg = vec![0u32; g.n()]; drop(indeg); }",
+        ] {
+            let v = check_file("crates/brokerset/src/x.rs", src);
+            assert!(v.iter().all(|v| v.rule != Rule::NoAdhocToposort), "{src}");
+        }
+        // Comments may say Kahn freely — the lexer never sees them.
+        let src = "// Kahn's algorithm would be wrong here.\npub fn f() {}\n";
+        let v = check_file("crates/topology/src/x.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoAdhocToposort));
+        // Tests, bins and support crates are out of scope.
+        let src = "fn main() { let order = toposort(&dag); }";
+        for path in [
+            "crates/routing/tests/plan_props.rs",
+            "src/bin/cli.rs",
+            "crates/xtask/src/x.rs",
+        ] {
+            let v = check_file(path, src);
+            assert!(v.iter().all(|v| v.rule != Rule::NoAdhocToposort), "{path}");
+        }
+        // #[cfg(test)] modules inside product libs are exempt too.
+        let src = "#[cfg(test)]\nmod t { fn f() { toposort(&dag); } }";
+        let v = check_file("crates/routing/src/chaos.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoAdhocToposort));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! JSON writers).
 //!
 //! One run, one tool (`xtask-lint`), one reporting descriptor per rule
-//! (R1-R14), one `result` per unallowed violation with a physical
+//! (R1-R15), one `result` per unallowed violation with a physical
 //! location (workspace-relative URI + 1-based start line). The output is
 //! deterministic: results follow the report's (path, line, rule) order
 //! and the rules array follows `Rule::ALL`.

@@ -19,6 +19,11 @@ use xtask::{find_workspace_root, lint_workspace, Allowlist};
 /// — netgraph/src/fault.rs, brokerset/src/chaos.rs, routing/src/chaos.rs
 /// — shipped with zero entries: it traverses through the engine and
 /// keeps epochs as logical time, so R6-R8 hold without exceptions.
+/// R15 shipped with zero entries: the one pre-existing toposort outside
+/// the planner (the topology validator's customer→provider acyclicity
+/// audit) spells its bookkeeping `indeg`, which the rule's exact
+/// in-degree matcher deliberately leaves alone — an auditor must stay
+/// structurally independent of the planner it could otherwise reuse.
 /// The token-level auditor burned down the two constructor
 /// `validate().expect(...)` entries in revenue.rs and internet.rs —
 /// both are explicit `if let Err { panic! }` blocks now — taking the
@@ -85,8 +90,9 @@ fn seeded_violations_fail_the_binary() {
     // det.rs violates the determinism rules: R9 (hash iteration), R10
     // (float sum in a thread-spawning fn), R11 (Relaxed outside obs.rs),
     // R12 (pub constructor-bearing type without a Validate impl), R13
-    // (the same std::thread::spawn, outside netgraph/src/par.rs) and
-    // R14 (a raw TcpStream outside src/proto.rs).
+    // (the same std::thread::spawn, outside netgraph/src/par.rs), R14
+    // (a raw TcpStream outside src/proto.rs) and R15 (an ad-hoc
+    // toposort outside crates/routing/src/plan.rs).
     std::fs::write(
         src.join("det.rs"),
         "use std::collections::HashMap;\n\
@@ -122,6 +128,12 @@ fn seeded_violations_fail_the_binary() {
          \n\
          pub fn dial() -> std::io::Result<std::net::TcpStream> {\n\
              std::net::TcpStream::connect(\"127.0.0.1:1\")\n\
+         }\n\
+         \n\
+         pub fn schedule(dag: &[Vec<usize>]) -> Vec<usize> {\n\
+             let mut in_degree = vec![0usize; dag.len()];\n\
+             drop(&mut in_degree);\n\
+             toposort(dag)\n\
          }\n",
     )
     .expect("seeded determinism source");
@@ -138,6 +150,7 @@ fn seeded_violations_fail_the_binary() {
     );
     for rule in [
         "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13", "R14",
+        "R15",
     ] {
         // Word-boundary match: `R1` must not be satisfied by `R10`.
         let hit = stdout.lines().any(|l| {

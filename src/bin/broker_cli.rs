@@ -11,6 +11,7 @@
 //! broker-cli evolve    <snapshot.json> <epochs> <k> [seed]  grow the topology, maintain brokers
 //! broker-cli index build <snapshot.json> <alg> <k> <out.bri>  precompute the reachability index
 //! broker-cli index query <index.bri> <s> <t> <l>     answer one stitch query from the index
+//! broker-cli plan      <snapshot.json> <alg> <k_from> <k_to>  dependency-DAG reconfiguration plan
 //! ```
 //!
 //! Algorithms: `maxsg`, `greedy`, `approx`, `db`, `prb`, `ixpb`, `tier1`.
@@ -31,6 +32,7 @@ use brokerset::{
     BrokerMaintainer, BrokerSelection, CoverageCertificate, DegradationCertificate, MaintainConfig,
     ReachIndex, SourceMode, Validate,
 };
+use rand::{Rng, SeedableRng};
 use topology::{
     evolve, load_snapshot, save_snapshot, GrowthConfig, Internet, InternetConfig, Scale,
 };
@@ -114,6 +116,7 @@ usage:
   broker-cli evolve   <snapshot.json> <epochs> <k> [seed]
   broker-cli index build <snapshot.json> <alg> <k> <out.bri>
   broker-cli index query <index.bri> <s> <t> <l>
+  broker-cli plan     <snapshot.json> <alg> <k_from> <k_to>
 algorithms: maxsg greedy approx db prb ixpb tier1
 global flags: --obs PATH (metrics snapshot), --record PATH (evolve: delta stream + ledger JSON)";
 
@@ -363,6 +366,80 @@ fn run(args: &[String], record_path: Option<&str>) -> Result<(), String> {
                 eprintln!(
                     "maintenance certificate failed: {} invariant(s) violated",
                     audit.findings.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        "plan" => {
+            let net = load(args.get(1))?;
+            let alg = args.get(2);
+            // Both budgets are mandatory: a defaulted target would make
+            // "plan net.json maxsg 40" silently plan toward 100 brokers.
+            let k_from = args.get(3).ok_or("missing k_from")?;
+            let k_to = args.get(4).ok_or("missing k_to")?;
+            let cur_sel = select(&net, alg, Some(k_from))?;
+            let tgt_sel = select(&net, alg, Some(k_to))?;
+            let g = net.graph();
+            // Deterministic supervised sessions: the reconfiguration must
+            // keep each one on a dominated stitched path at every cut.
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x91a);
+            let n = g.node_count() as u32;
+            let mut pairs = Vec::with_capacity(16);
+            while pairs.len() < 16 {
+                let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                if u != v {
+                    pairs.push((netgraph::NodeId(u), netgraph::NodeId(v)));
+                }
+            }
+            let plan =
+                routing::ReconfigPlan::build(g, cur_sel.brokers(), tgt_sel.brokers(), &pairs)
+                    .map_err(|e| {
+                        format!(
+                            "planning {} -> {} brokers: {e}",
+                            cur_sel.len(),
+                            tgt_sel.len()
+                        )
+                    })?;
+            let s = plan.summary(g);
+            say!(
+                "plan {} -> {} brokers ({}): {} steps ({} activate, {} deactivate, {} migrate),\n\
+                 {} dependency edges; width {}, depth {}; {} sessions kept, {} migrating",
+                cur_sel.len(),
+                tgt_sel.len(),
+                cur_sel.algorithm(),
+                s.steps,
+                s.activations,
+                s.deactivations,
+                s.migrations,
+                s.edges,
+                s.width,
+                s.depth,
+                s.kept,
+                s.migrations,
+            );
+            for (i, layer) in plan.layers().iter().enumerate() {
+                let steps = plan.steps();
+                let rendered: Vec<String> = layer.iter().map(|&si| steps[si].to_string()).collect();
+                say!("  antichain {i}: {}", rendered.join(", "));
+            }
+            let trace = plan.execute(g, 0);
+            say!(
+                "executed: makespan {} vs sequential {} cost units ({:.2}x); {} cut states\n\
+                 validated; trace checksum {:016x}",
+                trace.makespan_units,
+                trace.sequential_units,
+                trace.speedup(),
+                trace.cuts_validated,
+                trace.checksum,
+            );
+            let audit = routing::PlanCertificate::new(&plan, g).audit();
+            say!("certificate: {audit}");
+            if audit.is_ok() && trace.cut_audit.is_ok() {
+                Ok(())
+            } else {
+                eprintln!(
+                    "plan certificate failed: {} invariant(s) violated",
+                    audit.findings.len() + trace.cut_audit.findings.len()
                 );
                 std::process::exit(1);
             }

@@ -524,6 +524,60 @@ impl Conn {
         Ok(Conn { inner: stream })
     }
 
+    /// Connect to `127.0.0.1:port`, retrying until the listener
+    /// accepts or `attempts` tries are exhausted.
+    ///
+    /// This is the sleep-free half of the readiness handshake used by
+    /// the serve benches and the CI smoke: a freshly spawned `brokerd`
+    /// may not have bound its socket yet, so instead of a fixed delay
+    /// the caller spins on connect with a scheduler yield between
+    /// tries. Pair with [`Conn::handshake`] to also wait for the
+    /// serving loop (bound socket ≠ serving: the accept queue can hold
+    /// a connection before the index is ready to answer).
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure once every attempt is spent.
+    pub fn connect_retry(port: u16, attempts: usize) -> io::Result<Self> {
+        let mut last: Option<io::Error> = None;
+        for _ in 0..attempts.max(1) {
+            match Self::connect(port) {
+                Ok(conn) => return Ok(conn),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::yield_now();
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "connect_retry: no attempts",
+            )
+        }))
+    }
+
+    /// Full readiness handshake: connect (with retries) and block on a
+    /// [`Request::Hello`] until the server answers
+    /// [`Response::HelloOk`]. Returns the ready connection plus the
+    /// served index's shape. No sleeps anywhere: the blocking read on
+    /// the HELLO reply *is* the readiness signal.
+    ///
+    /// # Errors
+    ///
+    /// Connect failures propagate; a non-`HelloOk` reply surfaces as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn handshake(port: u16, attempts: usize) -> io::Result<(Self, Response)> {
+        let mut conn = Self::connect_retry(port, attempts)?;
+        match conn.request(&Request::Hello)? {
+            ok @ Response::HelloOk { .. } => Ok((conn, ok)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("handshake expected HelloOk, got {other:?}"),
+            )),
+        }
+    }
+
     /// Send one request and read its response.
     ///
     /// # Errors

@@ -1,5 +1,6 @@
 //! End-to-end test of the `broker_cli` binary: generate → stats →
-//! select → eval → export, through the real executable.
+//! select → eval → export (plus chaos, evolve, index and plan), through
+//! the real executable.
 
 use std::process::Command;
 
@@ -199,6 +200,73 @@ fn index_build_and_query_roundtrip() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("missing hop bound"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_round_trips_with_certificate_and_rejects_malformed_args() {
+    let dir = tmpdir();
+    let snap = dir.join("plan-net.json");
+    assert!(cli()
+        .args(["generate", "tiny", "7", snap.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    // A 40 -> 50 broker reconfiguration: summary, antichain schedule,
+    // execution trace and a passing certificate.
+    let out = cli()
+        .args(["plan", snap.to_str().unwrap(), "maxsg", "40", "50"])
+        .output()
+        .expect("spawn plan");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("plan 40 -> 50 brokers (maxsg)"), "{text}");
+    assert!(text.contains("antichain 0:"), "{text}");
+    assert!(text.contains("activate("), "{text}");
+    assert!(text.contains("cut states\nvalidated"), "{text}");
+    assert!(text.contains("certificate:"), "{text}");
+    assert!(!text.contains("FAIL"), "{text}");
+
+    // The same budgets twice is an empty plan — still a valid,
+    // certified reconfiguration.
+    let out = cli()
+        .args(["plan", snap.to_str().unwrap(), "maxsg", "40", "40"])
+        .output()
+        .expect("spawn no-op plan");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 steps"), "{text}");
+
+    // Malformed invocations are usage errors: exit code 2 exactly.
+    let out = cli()
+        .args(["plan", snap.to_str().unwrap(), "maxsg", "40"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing k_to"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+
+    let out = cli()
+        .args(["plan", snap.to_str().unwrap(), "magic", "40", "50"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+
+    let out = cli()
+        .args(["plan", snap.to_str().unwrap(), "maxsg", "forty", "50"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad k"));
 
     std::fs::remove_dir_all(&dir).ok();
 }

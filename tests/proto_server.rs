@@ -178,6 +178,49 @@ fn batch_and_stats_round_trip_over_tcp() {
     shutdown(port, handle);
 }
 
+/// Readiness regression for the `serve_bench --attach` / `brokerd`
+/// handshake: a client that starts before the listener exists must
+/// bridge the gap with connect retries (no fixed sleeps on either
+/// side), and a bounded retry budget against a dead port must report
+/// the refusal instead of hanging.
+#[test]
+fn handshake_bridges_a_late_listener_and_bounded_retry_reports_refusal() {
+    // Reserve an ephemeral port, then release it so the server can bind
+    // it *after* the client has already started retrying.
+    let probe = proto::Listener::bind(0).expect("probe bind");
+    let port = probe.port().expect("probe port");
+    drop(probe);
+
+    // Nothing is listening yet: the bounded budget surfaces the error.
+    let err = proto::Conn::connect_retry(port, 3).expect_err("no listener yet");
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused, "{err}");
+
+    let index = small_index();
+    let server = std::thread::spawn(move || {
+        // Bind late: the client below is already in its retry loop.
+        std::thread::yield_now();
+        let listener = proto::Listener::bind(port).expect("rebind reserved port");
+        let counters = ServeCounters::new();
+        loop {
+            let Ok(conn) = listener.accept() else { break };
+            if let Ok(true) = proto::serve(conn, &index, &counters, 1) {
+                break;
+            }
+        }
+    });
+
+    // The HELLO reply doubles as the readiness signal: once it arrives
+    // the server is provably serving, with no sleep anywhere.
+    let (mut conn, hello) = proto::Conn::handshake(port, 1_000_000).expect("handshake");
+    assert!(
+        matches!(hello, Response::HelloOk { n: 8, k: 2, .. }),
+        "{hello:?}"
+    );
+    let bye = conn.request(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(bye, Response::Bye), "expected BYE, got {bye:?}");
+    server.join().expect("server thread panicked");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
